@@ -1,0 +1,180 @@
+// Benchmarks, one per experiment table (see DESIGN.md §3 and EXPERIMENTS.md).
+// Each benchmark iteration executes one full simulated run; the custom
+// metrics report the model quantities the paper bounds (simulated steps and
+// test-and-set entries per process), while ns/op measures the harness
+// itself. BenchmarkNative* run the same objects on real goroutines.
+package renaming_test
+
+import (
+	"fmt"
+	"testing"
+
+	renaming "repro"
+	"repro/internal/shmem"
+)
+
+// simRun executes body on a fresh simulator and accumulates step metrics.
+func simRun(b *testing.B, k int, build func(rt *renaming.SimRuntime) func(renaming.Proc)) {
+	b.Helper()
+	var maxSteps, totalSteps, comps, tasEnters uint64
+	for i := 0; i < b.N; i++ {
+		rt := renaming.NewSim(uint64(i), renaming.RandomSchedule(uint64(i)))
+		body := build(rt)
+		st := rt.Run(k, body)
+		maxSteps += st.MaxSteps()
+		totalSteps += st.TotalSteps()
+		comps += st.MaxEvent(shmem.EvComparator)
+		tasEnters += st.MaxEvent(shmem.EvTASEnter)
+	}
+	n := float64(b.N)
+	b.ReportMetric(float64(maxSteps)/n, "steps/proc")
+	b.ReportMetric(float64(totalSteps)/n, "steps/run")
+	if comps > 0 {
+		b.ReportMetric(float64(comps)/n, "comparators/proc")
+	}
+	if tasEnters > 0 {
+		b.ReportMetric(float64(tasEnters)/n, "tas/proc")
+	}
+}
+
+// BenchmarkBitBatching regenerates table E1 (Lemma 1, Cor. 1–2): full
+// contention renaming into exactly n names.
+func BenchmarkBitBatching(b *testing.B) {
+	for _, n := range []int{16, 64, 256} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			simRun(b, n, func(rt *renaming.SimRuntime) func(renaming.Proc) {
+				bb := renaming.NewBitBatchingRenaming(rt, n)
+				return func(p renaming.Proc) { bb.Rename(p, uint64(p.ID())+1) }
+			})
+		})
+	}
+}
+
+// BenchmarkRenamingNetwork regenerates table E5 (Theorem 1, Cor. 3): the
+// fixed-width renaming network at full occupancy.
+func BenchmarkRenamingNetwork(b *testing.B) {
+	for _, m := range []int{16, 64, 256} {
+		b.Run(fmt.Sprintf("M=%d", m), func(b *testing.B) {
+			simRun(b, m, func(rt *renaming.SimRuntime) func(renaming.Proc) {
+				rn := renaming.NewNetworkRenaming(rt, m)
+				return func(p renaming.Proc) { rn.Rename(p, uint64(p.ID())+1) }
+			})
+		})
+	}
+}
+
+// BenchmarkStrongAdaptive regenerates table E8 (Theorem 3): the headline
+// adaptive algorithm across contention levels.
+func BenchmarkStrongAdaptive(b *testing.B) {
+	for _, k := range []int{2, 8, 32, 128} {
+		b.Run(fmt.Sprintf("k=%d", k), func(b *testing.B) {
+			simRun(b, k, func(rt *renaming.SimRuntime) func(renaming.Proc) {
+				sa := renaming.NewRenaming(rt)
+				return func(p renaming.Proc) { sa.Rename(p, uint64(p.ID())+1) }
+			})
+		})
+	}
+}
+
+// BenchmarkStrongAdaptiveHardware is the deterministic hardware-TAS ablation
+// (Discussion §1): same algorithm, comparators resolved by single CAS.
+func BenchmarkStrongAdaptiveHardware(b *testing.B) {
+	for _, k := range []int{8, 64} {
+		b.Run(fmt.Sprintf("k=%d", k), func(b *testing.B) {
+			simRun(b, k, func(rt *renaming.SimRuntime) func(renaming.Proc) {
+				sa := renaming.NewRenaming(rt, renaming.WithHardwareTAS())
+				return func(p renaming.Proc) { sa.Rename(p, uint64(p.ID())+1) }
+			})
+		})
+	}
+}
+
+// BenchmarkLinearProbeBaseline regenerates the baseline column of table E14.
+func BenchmarkLinearProbeBaseline(b *testing.B) {
+	for _, k := range []int{8, 32, 128} {
+		b.Run(fmt.Sprintf("k=%d", k), func(b *testing.B) {
+			simRun(b, k, func(rt *renaming.SimRuntime) func(renaming.Proc) {
+				lp := renaming.NewLinearProbeRenaming(rt)
+				return func(p renaming.Proc) { lp.Rename(p, uint64(p.ID())+1) }
+			})
+		})
+	}
+}
+
+// BenchmarkCounterInc regenerates table E10 (Lemma 4): monotone counter
+// increments plus reads under contention.
+func BenchmarkCounterInc(b *testing.B) {
+	for _, k := range []int{4, 16} {
+		b.Run(fmt.Sprintf("k=%d", k), func(b *testing.B) {
+			simRun(b, k, func(rt *renaming.SimRuntime) func(renaming.Proc) {
+				c := renaming.NewCounter(rt)
+				return func(p renaming.Proc) {
+					for i := 0; i < 4; i++ {
+						c.Inc(p)
+						c.Read(p)
+					}
+				}
+			})
+		})
+	}
+}
+
+// BenchmarkFetchInc regenerates table E13 (Theorem 6).
+func BenchmarkFetchInc(b *testing.B) {
+	for _, m := range []uint64{16, 256} {
+		for _, k := range []int{4, 16} {
+			b.Run(fmt.Sprintf("m=%d/k=%d", m, k), func(b *testing.B) {
+				simRun(b, k, func(rt *renaming.SimRuntime) func(renaming.Proc) {
+					f := renaming.NewFetchInc(rt, m)
+					return func(p renaming.Proc) { f.Inc(p) }
+				})
+			})
+		}
+	}
+}
+
+// BenchmarkLTAS regenerates table E12 (Lemma 5).
+func BenchmarkLTAS(b *testing.B) {
+	for _, ell := range []uint64{1, 8} {
+		b.Run(fmt.Sprintf("ell=%d", ell), func(b *testing.B) {
+			simRun(b, 16, func(rt *renaming.SimRuntime) func(renaming.Proc) {
+				o := renaming.NewLTAS(rt, ell)
+				return func(p renaming.Proc) { o.Try(p) }
+			})
+		})
+	}
+}
+
+// BenchmarkNativeRenaming runs strong adaptive renaming on real goroutines
+// (wall-clock throughput of the library as a Go component, hardware TAS).
+func BenchmarkNativeRenaming(b *testing.B) {
+	for _, k := range []int{8, 64} {
+		b.Run(fmt.Sprintf("k=%d", k), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				rt := renaming.NewNative(uint64(i))
+				sa := renaming.NewRenaming(rt, renaming.WithHardwareTAS())
+				rt.Run(k, func(p renaming.Proc) {
+					sa.Rename(p, uint64(p.ID())+1)
+				})
+			}
+		})
+	}
+}
+
+// BenchmarkNativeCounter measures the monotone counter on real goroutines.
+func BenchmarkNativeCounter(b *testing.B) {
+	for _, k := range []int{8, 64} {
+		b.Run(fmt.Sprintf("k=%d", k), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				rt := renaming.NewNative(uint64(i))
+				c := renaming.NewCounter(rt, renaming.WithHardwareTAS())
+				rt.Run(k, func(p renaming.Proc) {
+					for j := 0; j < 4; j++ {
+						c.Inc(p)
+						c.Read(p)
+					}
+				})
+			}
+		})
+	}
+}

@@ -1,0 +1,95 @@
+// Command netcheck verifies the sorting-network substrate: it validates
+// structure, checks the zero-one principle (exhaustively for small widths,
+// by sampling otherwise), prints depth/size summaries for each generator,
+// and shows the adaptive construction's level table and the BitBatching
+// batch layout.
+//
+// Usage:
+//
+//	netcheck [-width N] [-trials T] [-layout N]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/rng"
+	"repro/internal/sortnet"
+)
+
+func main() {
+	width := flag.Int("width", 16, "network width to verify")
+	trials := flag.Int("trials", 2000, "random zero-one trials for widths beyond exhaustive reach")
+	layout := flag.Int("layout", 0, "also print the BitBatching batch layout for this n")
+	draw := flag.Int("draw", 0, "draw the Batcher network of this width as a wire diagram")
+	flag.Parse()
+
+	if *draw > 0 {
+		fmt.Printf("Batcher odd-even mergesort, width %d:\n\n%s\n", *draw,
+			sortnet.Draw(sortnet.OddEvenMergeNet(*draw)))
+	}
+
+	ok := true
+	gens := []struct {
+		name string
+		net  *sortnet.Network
+	}{
+		{"insertion", sortnet.Insertion(*width)},
+		{"odd-even transposition", sortnet.OddEvenTransposition(*width)},
+		{"Batcher odd-even merge", sortnet.OddEvenMergeNet(*width)},
+	}
+	for _, g := range gens {
+		if err := g.net.Validate(); err != nil {
+			fmt.Printf("%-24s INVALID: %v\n", g.name, err)
+			ok = false
+			continue
+		}
+		verdict := verify(g.net, *trials)
+		fmt.Printf("%-24s width=%-5d depth=%-4d size=%-6d %s\n",
+			g.name, g.net.W, g.net.Depth(), g.net.Size(), verdict)
+		if verdict != "sorts (exhaustive)" && verdict != "sorts (sampled)" {
+			ok = false
+		}
+	}
+
+	fmt.Println("\nadaptive construction (Section 6.1, Batcher base):")
+	ad := sortnet.NewAdaptive(sortnet.MaxAdaptiveWire)
+	fmt.Printf("  levels=%d  total width=%d  total depth=%d\n", ad.Levels(), ad.Width(), ad.Depth())
+	for i := 1; i <= ad.Levels(); i++ {
+		fmt.Printf("  level %d: depth(S_%d)=%d\n", i, i, ad.DepthOfLevel(i))
+	}
+	small := sortnet.NewAdaptive(15)
+	if bad := small.Flatten().VerifyZeroOne(); bad != nil {
+		fmt.Printf("  FLATTENED S (width 16) FAILS on %v\n", bad)
+		ok = false
+	} else {
+		fmt.Println("  flattened S (width 16) sorts (exhaustive)")
+	}
+
+	if *layout > 0 {
+		fmt.Printf("\nBitBatching layout for n=%d (Figure 1):\n", *layout)
+		for i, b := range core.BatchLayout(*layout) {
+			fmt.Printf("  batch %d: slots [%d, %d) length %d\n", i+1, b.Lo, b.Hi, b.Len())
+		}
+	}
+
+	if !ok {
+		os.Exit(1)
+	}
+}
+
+func verify(net *sortnet.Network, trials int) string {
+	if net.W <= 20 {
+		if bad := net.VerifyZeroOne(); bad != nil {
+			return fmt.Sprintf("FAILS on %v", bad)
+		}
+		return "sorts (exhaustive)"
+	}
+	g := rng.New(1)
+	if bad := net.SampleZeroOne(trials, g.Next); bad != nil {
+		return fmt.Sprintf("FAILS on %v", bad)
+	}
+	return "sorts (sampled)"
+}

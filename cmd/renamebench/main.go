@@ -1,0 +1,54 @@
+// Command renamebench regenerates the experiment tables of EXPERIMENTS.md:
+// one table per entry of the per-experiment index in DESIGN.md, each
+// reproducing a claim of "Optimal-Time Adaptive Strong Renaming, with
+// Applications to Counting" (PODC 2011) on the deterministic simulator.
+//
+// Usage:
+//
+//	renamebench [-quick] [-seeds N] [-table E8] [-markdown]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/bench"
+)
+
+func main() {
+	quick := flag.Bool("quick", false, "shrink parameter sweeps for a fast smoke run")
+	seeds := flag.Int("seeds", 10, "independent runs per parameter point")
+	table := flag.String("table", "", "run only the experiment with this ID (e.g. E8)")
+	markdown := flag.Bool("markdown", false, "emit GitHub-flavored markdown (EXPERIMENTS.md format)")
+	csv := flag.Bool("csv", false, "emit CSV series for external plotting")
+	flag.Parse()
+
+	cfg := bench.Config{Seeds: *seeds, Quick: *quick}
+	tables := bench.All(cfg)
+
+	matched := false
+	for _, t := range tables {
+		if *table != "" && !strings.EqualFold(t.ID, *table) {
+			continue
+		}
+		matched = true
+		switch {
+		case *csv:
+			t.CSV(os.Stdout)
+		case *markdown:
+			t.Markdown(os.Stdout)
+		default:
+			t.Fprint(os.Stdout)
+		}
+	}
+	if !matched {
+		fmt.Fprintf(os.Stderr, "renamebench: no experiment with ID %q; available:", *table)
+		for _, t := range tables {
+			fmt.Fprintf(os.Stderr, " %s", t.ID)
+		}
+		fmt.Fprintln(os.Stderr)
+		os.Exit(2)
+	}
+}

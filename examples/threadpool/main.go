@@ -1,0 +1,55 @@
+// Threadpool: the renaming problem of the paper's introduction in its most
+// common systems guise — a dynamic pool of workers with large, sparse
+// identities (here fake thread ids) that need small dense slot numbers to
+// index per-worker state arrays (shards, stripes, per-CPU counters).
+//
+// Strong adaptive renaming hands worker i a slot in 1..k where k is the
+// number of workers that actually showed up — no preconfigured pool size,
+// no coordinator, and O(log k) shared-memory steps per worker.
+package main
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	renaming "repro"
+)
+
+func main() {
+	const workers = 12
+	const jobs = 480
+
+	rt := renaming.NewNative(7)
+	ren := renaming.NewRenaming(rt, renaming.WithHardwareTAS())
+
+	// Dense per-slot state, indexable only because names are tight.
+	var perSlot [workers + 1]atomic.Uint64
+	var queue atomic.Int64
+	queue.Store(jobs)
+
+	slots := make([]uint64, workers)
+	rt.Run(workers, func(p renaming.Proc) {
+		// A "thread id" from a sparse 64-bit space.
+		tid := uint64(p.ID())<<40 | 0xBEEF
+		slot := ren.Rename(p, tid)
+		slots[p.ID()] = slot
+
+		// Work off the shared queue, accounting into the dense slot.
+		for queue.Add(-1) >= 0 {
+			perSlot[slot].Add(1)
+		}
+	})
+
+	fmt.Printf("%d workers renamed into slots 1..%d:\n", workers, workers)
+	var total uint64
+	for i, s := range slots {
+		done := perSlot[s].Load()
+		total += done
+		fmt.Printf("  worker tid=%#x → slot %2d  processed %3d jobs\n",
+			uint64(i)<<40|0xBEEF, s, done)
+	}
+	fmt.Printf("jobs processed: %d / %d\n", total, jobs)
+	if total != jobs {
+		panic("jobs lost: dense slot accounting is broken")
+	}
+}

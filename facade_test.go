@@ -1,0 +1,291 @@
+// Integration tests against the public facade: the full stack exercised
+// end to end through both runtimes, the way a downstream user would drive
+// it, including testing/quick property checks with scripted schedules.
+package renaming_test
+
+import (
+	"sort"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	renaming "repro"
+)
+
+func TestFacadeSimRenamingTight(t *testing.T) {
+	for seed := uint64(0); seed < 10; seed++ {
+		rt := renaming.NewSim(seed, renaming.RandomSchedule(seed))
+		ren := renaming.NewRenaming(rt)
+		const k = 10
+		names := make([]uint64, k)
+		rt.Run(k, func(p renaming.Proc) {
+			names[p.ID()] = ren.Rename(p, uint64(p.ID())+1)
+		})
+		assertTight(t, names)
+	}
+}
+
+func TestFacadeNativeRenamingTight(t *testing.T) {
+	// Real goroutines, Go-scheduler interleavings, hardware TAS.
+	for trial := uint64(0); trial < 20; trial++ {
+		rt := renaming.NewNative(trial)
+		ren := renaming.NewRenaming(rt, renaming.WithHardwareTAS())
+		const k = 16
+		names := make([]uint64, k)
+		rt.Run(k, func(p renaming.Proc) {
+			names[p.ID()] = ren.Rename(p, uint64(p.ID())*7919+1)
+		})
+		assertTight(t, names)
+	}
+}
+
+func TestFacadeNativeRegisterTAS(t *testing.T) {
+	// The randomized register protocol must also be safe under real
+	// concurrency (its safety argument is schedule-independent).
+	for trial := uint64(0); trial < 10; trial++ {
+		rt := renaming.NewNative(trial)
+		ren := renaming.NewRenaming(rt, renaming.WithRegisterTAS())
+		const k = 8
+		names := make([]uint64, k)
+		rt.Run(k, func(p renaming.Proc) {
+			names[p.ID()] = ren.Rename(p, uint64(p.ID())+1)
+		})
+		assertTight(t, names)
+	}
+}
+
+func TestFacadeBalancedBase(t *testing.T) {
+	rt := renaming.NewSim(3, renaming.RandomSchedule(3))
+	ren := renaming.NewRenaming(rt, renaming.WithBalancedBase())
+	const k = 12
+	names := make([]uint64, k)
+	rt.Run(k, func(p renaming.Proc) {
+		names[p.ID()] = ren.Rename(p, uint64(p.ID())+1)
+	})
+	assertTight(t, names)
+}
+
+func TestFacadeBitBatchingNative(t *testing.T) {
+	rt := renaming.NewNative(5)
+	const n = 32
+	bb := renaming.NewBitBatchingRenaming(rt, n, renaming.WithHardwareTAS())
+	names := make([]uint64, n)
+	rt.Run(n, func(p renaming.Proc) {
+		names[p.ID()] = bb.Rename(p, uint64(p.ID())+1)
+	})
+	assertTight(t, names)
+}
+
+func TestFacadeNetworkRenaming(t *testing.T) {
+	rt := renaming.NewSim(4, renaming.RoundRobin())
+	rn := renaming.NewNetworkRenaming(rt, 32)
+	if rn.Width() != 32 || rn.Depth() < 10 {
+		t.Fatalf("unexpected network shape: width=%d depth=%d", rn.Width(), rn.Depth())
+	}
+	const k = 9
+	names := make([]uint64, k)
+	rt.Run(k, func(p renaming.Proc) {
+		names[p.ID()] = rn.Rename(p, uint64(p.ID()*3)+1)
+	})
+	assertTight(t, names)
+}
+
+func TestFacadeCounterNative(t *testing.T) {
+	rt := renaming.NewNative(6)
+	c := renaming.NewCounter(rt, renaming.WithHardwareTAS())
+	const k, each = 8, 10
+	var mu sync.Mutex
+	perProcReads := make([][]uint64, k)
+	rt.Run(k, func(p renaming.Proc) {
+		var seen []uint64
+		for i := 0; i < each; i++ {
+			c.Inc(p)
+			seen = append(seen, c.Read(p))
+		}
+		mu.Lock()
+		perProcReads[p.ID()] = seen
+		mu.Unlock()
+	})
+	for id, seen := range perProcReads {
+		for i := 1; i < len(seen); i++ {
+			if seen[i] < seen[i-1] {
+				t.Fatalf("proc %d saw counter go backwards: %v", id, seen)
+			}
+		}
+		if final := seen[len(seen)-1]; final > k*each {
+			t.Fatalf("proc %d read %d, above total increments %d", id, final, k*each)
+		}
+	}
+}
+
+func TestFacadeFetchIncNative(t *testing.T) {
+	rt := renaming.NewNative(7)
+	const m, k = 64, 16
+	f := renaming.NewFetchInc(rt, m, renaming.WithHardwareTAS())
+	if f.M() != m {
+		t.Fatalf("M() = %d", f.M())
+	}
+	var mu sync.Mutex
+	var got []uint64
+	rt.Run(k, func(p renaming.Proc) {
+		for i := 0; i < 3; i++ {
+			v := f.Inc(p)
+			mu.Lock()
+			got = append(got, v)
+			mu.Unlock()
+		}
+	})
+	counts := map[uint64]int{}
+	for _, v := range got {
+		counts[v]++
+	}
+	for v := uint64(0); v < uint64(len(got)) && v < m-1; v++ {
+		if counts[v] != 1 {
+			t.Fatalf("ticket %d handed out %d times", v, counts[v])
+		}
+	}
+}
+
+func TestFacadeLTASNative(t *testing.T) {
+	rt := renaming.NewNative(8)
+	const ell, k = 5, 20
+	o := renaming.NewLTAS(rt, ell, renaming.WithHardwareTAS())
+	if o.Ell() != ell {
+		t.Fatalf("Ell() = %d", o.Ell())
+	}
+	wins := make([]bool, k)
+	rt.Run(k, func(p renaming.Proc) {
+		wins[p.ID()] = o.Try(p)
+	})
+	n := 0
+	for _, w := range wins {
+		if w {
+			n++
+		}
+	}
+	if n != ell {
+		t.Fatalf("%d winners, want %d", n, ell)
+	}
+}
+
+func TestFacadeCrashSchedule(t *testing.T) {
+	adv := renaming.CrashAt(renaming.RandomSchedule(9), map[int]uint64{2: 15})
+	rt := renaming.NewSim(9, adv)
+	ren := renaming.NewRenaming(rt)
+	const k = 6
+	names := make([]uint64, k)
+	st := rt.Run(k, func(p renaming.Proc) {
+		names[p.ID()] = ren.Rename(p, uint64(p.ID())+1)
+	})
+	var survivors []uint64
+	for i, n := range names {
+		if !st.Crashed[i] {
+			survivors = append(survivors, n)
+		}
+	}
+	seen := map[uint64]bool{}
+	for _, n := range survivors {
+		if n < 1 || n > k || seen[n] {
+			t.Fatalf("bad survivor names %v", survivors)
+		}
+		seen[n] = true
+	}
+}
+
+func TestFacadeStepCap(t *testing.T) {
+	rt := renaming.NewSimCapped(1, renaming.RoundRobin(), 100)
+	reg := rt.NewReg(0)
+	st := rt.Run(2, func(p renaming.Proc) {
+		for {
+			reg.Read(p)
+		}
+	})
+	if !st.StepCapHit {
+		t.Fatal("step cap not enforced through facade")
+	}
+}
+
+// TestQuickRenamingUnderScriptedSchedules is the property-based sweep: for
+// quick-generated seeds, contention levels, and uid spreads, renaming is
+// tight under a quick-generated schedule (every byte of the script picks
+// the next process).
+func TestQuickRenamingUnderScriptedSchedules(t *testing.T) {
+	prop := func(seed uint64, kRaw uint8, stride uint64, script []byte) bool {
+		k := int(kRaw)%12 + 1
+		ids := make([]int, len(script))
+		for i, b := range script {
+			ids[i] = int(b) % k
+		}
+		rt := renaming.NewSim(seed, replaySchedule(ids))
+		ren := renaming.NewRenaming(rt)
+		names := make([]uint64, k)
+		rt.Run(k, func(p renaming.Proc) {
+			names[p.ID()] = ren.Rename(p, uint64(p.ID())*(stride|1)+1)
+		})
+		return tight(names)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickFetchIncPrefix: under quick-generated schedules, completed
+// fetch-and-increment values always form a saturated prefix.
+func TestQuickFetchIncPrefix(t *testing.T) {
+	prop := func(seed uint64, kRaw, mRaw uint8, script []byte) bool {
+		k := int(kRaw)%8 + 1
+		m := uint64(mRaw)%16 + 1
+		ids := make([]int, len(script))
+		for i, b := range script {
+			ids[i] = int(b) % k
+		}
+		rt := renaming.NewSim(seed, replaySchedule(ids))
+		f := renaming.NewFetchInc(rt, m)
+		var mu sync.Mutex
+		var got []uint64
+		rt.Run(k, func(p renaming.Proc) {
+			v := f.Inc(p)
+			mu.Lock()
+			got = append(got, v)
+			mu.Unlock()
+		})
+		sort.Slice(got, func(i, j int) bool { return got[i] < got[j] })
+		for i, v := range got {
+			want := uint64(i)
+			if want >= m {
+				want = m - 1
+			}
+			if v != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// replaySchedule adapts a script of process indices to the facade's
+// Adversary interface.
+func replaySchedule(script []int) renaming.Adversary {
+	return renaming.Scripted(script)
+}
+
+func assertTight(t *testing.T, names []uint64) {
+	t.Helper()
+	if !tight(names) {
+		t.Fatalf("names %v are not exactly 1..%d", names, len(names))
+	}
+}
+
+func tight(names []uint64) bool {
+	seen := make(map[uint64]bool, len(names))
+	for _, n := range names {
+		if n < 1 || n > uint64(len(names)) || seen[n] {
+			return false
+		}
+		seen[n] = true
+	}
+	return true
+}

@@ -1,0 +1,142 @@
+package bench
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/llsc"
+	"repro/internal/shmem"
+	"repro/internal/sim"
+	"repro/internal/sortnet"
+	"repro/internal/splitter"
+	"repro/internal/tas"
+)
+
+// E15Ablations probes the design choices DESIGN.md calls out:
+//
+//   - base sorting network for the adaptive construction (Batcher OEM vs
+//     the balanced network — both c = 2, different constants);
+//   - comparator TAS flavor (randomized register protocol vs one hardware
+//     CAS — the paper's deterministic-hardware remark);
+//   - RatRace fast path (the [12] entry splitter) on the adaptive TAS.
+func E15Ablations(cfg Config) *Table {
+	t := &Table{
+		ID:    "E15",
+		Title: "Ablations: base network, TAS flavor, RatRace fast path",
+		Claim: "constants move, asymptotics don't (paper §1 Discussion; DESIGN.md §3)",
+		Cols:  []string{"variant", "k", "maxSteps", "maxComps/TAS", "tight/1winner"},
+	}
+	ks := []int{8, 64}
+	if cfg.Quick {
+		ks = []int{8}
+	}
+
+	type variant struct {
+		name string
+		run  func(seed uint64, k int) (st *shmem.Stats, ok bool, comps uint64)
+	}
+	variants := []variant{
+		{"renaming/base=oem", func(seed uint64, k int) (*shmem.Stats, bool, uint64) {
+			return runRenamingVariant(seed, k, sortnet.BaseOEM, tas.MakeTwoProc)
+		}},
+		{"renaming/base=balanced", func(seed uint64, k int) (*shmem.Stats, bool, uint64) {
+			return runRenamingVariant(seed, k, sortnet.BaseBalanced, tas.MakeTwoProc)
+		}},
+		{"renaming/tas=hardware", func(seed uint64, k int) (*shmem.Stats, bool, uint64) {
+			return runRenamingVariant(seed, k, sortnet.BaseOEM, tas.MakeUnit)
+		}},
+		{"ratrace/plain", func(seed uint64, k int) (*shmem.Stats, bool, uint64) {
+			return runRatRaceVariant(seed, k, false)
+		}},
+		{"ratrace/fastpath", func(seed uint64, k int) (*shmem.Stats, bool, uint64) {
+			return runRatRaceVariant(seed, k, true)
+		}},
+	}
+
+	for _, v := range variants {
+		for _, k := range ks {
+			var steps, comps agg
+			allOK := true
+			for seed := 0; seed < cfg.Seeds; seed++ {
+				st, ok, c := v.run(uint64(seed), k)
+				if !ok {
+					allOK = false
+				}
+				steps.add(float64(st.MaxSteps()))
+				comps.add(float64(c))
+			}
+			t.AddRow(v.name, d(k), f1(steps.worst), f1(comps.worst),
+				fmt.Sprintf("%v", allOK))
+		}
+	}
+	t.Notes = append(t.Notes,
+		"renaming rows: maxComps column counts comparator entries; ratrace rows: internal 2-TAS entries",
+		"hardware TAS removes the coin-round register traffic — the paper's deterministic variant")
+	return t
+}
+
+// E16Wakeup measures the Theorem 5 pipeline: renaming compiled to the
+// lower bound's {LL, SC, move} instruction set, reduced to the wakeup
+// problem. The measured expected step complexity must sit above Jayanti's
+// c·log k and grow no faster than polylog — the sandwich that makes the
+// paper's algorithm optimal.
+func E16Wakeup(cfg Config) *Table {
+	t := &Table{
+		ID:    "E16",
+		Title: "Wakeup via compiled renaming (Theorems 4–5)",
+		Claim: "wakeup costs Ω(log k); renaming compiled to LL/SC solves it, so renaming inherits the bound",
+		Cols:  []string{"k", "ones", "meanSteps", "steps/lgk", "aboveLgK"},
+	}
+	ks := []int{4, 16, 64}
+	if cfg.Quick {
+		ks = []int{4, 16}
+	}
+	for _, k := range ks {
+		var mean agg
+		ones := -1
+		for seed := 0; seed < cfg.Seeds; seed++ {
+			rt := sim.New(uint64(seed), sim.NewRandom(uint64(seed)))
+			sa := core.NewStrongAdaptive(rt, splitter.NewTree(rt), llsc.MakeCompiled)
+			w := core.NewWakeup(rt, k, sa)
+			got := 0
+			st := rt.Run(k, func(p shmem.Proc) {
+				got += w.Wake(p, uint64(p.ID())+1) // serialized by the simulator
+			})
+			ones = got
+			mean.add(float64(st.TotalSteps()) / float64(k))
+		}
+		l := lg(float64(k))
+		t.AddRow(d(k), d(ones), f1(mean.mean()), f2(mean.mean()/l),
+			fmt.Sprintf("%v", mean.mean() >= l))
+	}
+	t.Notes = append(t.Notes,
+		"'ones' must be exactly 1: the name-k holder is the unique waker (strong adaptivity)")
+	return t
+}
+
+func runRenamingVariant(seed uint64, k int, base sortnet.Base, mk tas.SidedMaker) (*shmem.Stats, bool, uint64) {
+	rt := sim.New(seed, sim.NewRandom(seed))
+	sa := core.NewStrongAdaptiveWithBase(rt, splitter.NewTree(rt), mk, base)
+	names := make([]uint64, k)
+	st := rt.Run(k, func(p shmem.Proc) {
+		names[p.ID()] = sa.Rename(p, uint64(p.ID())+1)
+	})
+	return st, core.CheckUniqueTight(names) == nil, st.MaxEvent(shmem.EvComparator)
+}
+
+func runRatRaceVariant(seed uint64, k int, fast bool) (*shmem.Stats, bool, uint64) {
+	rt := sim.New(seed, sim.NewRandom(seed))
+	var rr *tas.RatRace
+	if fast {
+		rr = tas.NewRatRaceWithFastPath(rt, tas.MakeTwoProc)
+	} else {
+		rr = tas.NewRatRace(rt, tas.MakeTwoProc)
+	}
+	wins := 0
+	st := rt.Run(k, func(p shmem.Proc) {
+		if rr.TestAndSet(p, uint64(p.ID())+1) {
+			wins++ // serialized by the simulator
+		}
+	})
+	return st, wins == 1, st.MaxEvent(shmem.EvTAS2Enter)
+}

@@ -1,0 +1,228 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Interval is one timed operation for the consistency checkers: an
+// operation observed to start at Start, end at End (simulator clock), and
+// return Val.
+type Interval struct {
+	Start, End uint64
+	Val        uint64
+}
+
+// CheckUniqueTight verifies the strong adaptive renaming contract: the k
+// names are distinct and form exactly {1, ..., k}.
+func CheckUniqueTight(names []uint64) error {
+	k := uint64(len(names))
+	seen := make(map[uint64]int, len(names))
+	for i, n := range names {
+		if n < 1 || n > k {
+			return fmt.Errorf("name %d of process %d outside [1,%d]", n, i, k)
+		}
+		if j, dup := seen[n]; dup {
+			return fmt.Errorf("processes %d and %d both got name %d", j, i, n)
+		}
+		seen[n] = i
+	}
+	return nil
+}
+
+// CheckUniqueInRange verifies loose renaming: distinct names within
+// [1, bound] (BitBatching guarantees bound = n, not k).
+func CheckUniqueInRange(names []uint64, bound uint64) error {
+	seen := make(map[uint64]int, len(names))
+	for i, n := range names {
+		if n < 1 || n > bound {
+			return fmt.Errorf("name %d of process %d outside [1,%d]", n, i, bound)
+		}
+		if j, dup := seen[n]; dup {
+			return fmt.Errorf("processes %d and %d both got name %d", j, i, n)
+		}
+		seen[n] = i
+	}
+	return nil
+}
+
+// CheckFetchIncLinearizable verifies that completed fetch-and-increment
+// operations admit a linearization: values below m−1 are distinct and form
+// a prefix 0..c−1 together with the saturated tail, and ordering operations
+// by value never contradicts real time. ops must all be complete.
+func CheckFetchIncLinearizable(ops []Interval, m uint64) error {
+	if len(ops) == 0 {
+		return nil
+	}
+	sorted := make([]Interval, len(ops))
+	copy(sorted, ops)
+	sort.Slice(sorted, func(i, j int) bool {
+		if sorted[i].Val != sorted[j].Val {
+			return sorted[i].Val < sorted[j].Val
+		}
+		return sorted[i].Start < sorted[j].Start
+	})
+	// Value-set check: distinct prefix, with repeats only at m−1.
+	for i, op := range sorted {
+		want := uint64(i)
+		if want >= m {
+			want = m - 1
+		}
+		if op.Val != want {
+			return fmt.Errorf("op %d has value %d, want %d (values must form a saturated prefix)", i, op.Val, want)
+		}
+	}
+	// Real-time check: if a returns a smaller value than b, a must not
+	// start strictly after b ended. Saturated (m−1) pairs are unordered by
+	// value, so only distinct values constrain.
+	for i := range sorted {
+		for j := i + 1; j < len(sorted); j++ {
+			if sorted[i].Val == sorted[j].Val {
+				continue
+			}
+			if sorted[j].End < sorted[i].Start {
+				return fmt.Errorf("op with value %d (start %d) follows op with value %d (end %d) in real time",
+					sorted[i].Val, sorted[i].Start, sorted[j].Val, sorted[j].End)
+			}
+		}
+	}
+	return nil
+}
+
+// CheckLTASLinearizable verifies an ℓ-test-and-set history: with w winners
+// among c complete crash-free operations, w = min(ℓ, c); and no winner may
+// start strictly after a loser ended (the first ℓ linearized operations
+// must be the winners).
+func CheckLTASLinearizable(ops []Interval, ell uint64) error {
+	var winners, losers []Interval
+	for _, op := range ops {
+		if op.Val == 1 {
+			winners = append(winners, op)
+		} else {
+			losers = append(losers, op)
+		}
+	}
+	want := ell
+	if c := uint64(len(ops)); c < want {
+		want = c
+	}
+	if uint64(len(winners)) != want {
+		return fmt.Errorf("%d winners among %d ops, want %d", len(winners), len(ops), want)
+	}
+	for _, w := range winners {
+		for _, l := range losers {
+			if l.End < w.Start {
+				return fmt.Errorf("winner starting at %d after loser ended at %d", w.Start, l.End)
+			}
+		}
+	}
+	return nil
+}
+
+// CounterLinearizable reports whether a small history of complete counter
+// operations (increments and reads) admits a linearization: some total
+// order extending the real-time order in which every read returns the
+// number of increments ordered before it. Brute-force backtracking over
+// all admissible orders; intended for histories of at most ~10 operations
+// (it is the oracle for the paper's Section 8.1 non-linearizability
+// example).
+func CounterLinearizable(incs, reads []Interval) bool {
+	type op struct {
+		iv     Interval
+		isRead bool
+	}
+	ops := make([]op, 0, len(incs)+len(reads))
+	for _, i := range incs {
+		ops = append(ops, op{i, false})
+	}
+	for _, r := range reads {
+		ops = append(ops, op{r, true})
+	}
+	n := len(ops)
+	used := make([]bool, n)
+	var rec func(placed, incsSoFar int) bool
+	rec = func(placed, incsSoFar int) bool {
+		if placed == n {
+			return true
+		}
+		for i := 0; i < n; i++ {
+			if used[i] {
+				continue
+			}
+			// Real-time: an op may be linearized next only if no unplaced
+			// op ended before it started.
+			ok := true
+			for j := 0; j < n; j++ {
+				if !used[j] && j != i && ops[j].iv.End < ops[i].iv.Start {
+					ok = false
+					break
+				}
+			}
+			if !ok {
+				continue
+			}
+			if ops[i].isRead && ops[i].iv.Val != uint64(incsSoFar) {
+				continue
+			}
+			used[i] = true
+			next := incsSoFar
+			if !ops[i].isRead {
+				next++
+			}
+			if rec(placed+1, next) {
+				return true
+			}
+			used[i] = false
+		}
+		return false
+	}
+	return rec(0, 0)
+}
+
+// CheckMonotoneCounter verifies Lemma 4's three properties over a history
+// of complete increments and reads:
+//
+//  1. reads can be totally ordered consistently with real time and with
+//     non-decreasing values;
+//  2. every read returns at least the number of increments that completed
+//     before it started;
+//  3. every read returns at most the number of increments that started
+//     before it ended.
+func CheckMonotoneCounter(incs, reads []Interval) error {
+	// (1) Order reads by value; ties by start. Real-time pairs must agree.
+	sorted := make([]Interval, len(reads))
+	copy(sorted, reads)
+	sort.Slice(sorted, func(i, j int) bool {
+		if sorted[i].Val != sorted[j].Val {
+			return sorted[i].Val < sorted[j].Val
+		}
+		return sorted[i].Start < sorted[j].Start
+	})
+	for i := range sorted {
+		for j := i + 1; j < len(sorted); j++ {
+			if sorted[j].End < sorted[i].Start && sorted[j].Val < sorted[i].Val {
+				return fmt.Errorf("read %d (value %d) precedes read (value %d) in real time but not in value order",
+					j, sorted[j].Val, sorted[i].Val)
+			}
+		}
+	}
+	// (2) and (3).
+	for _, r := range reads {
+		var completedBefore, startedBefore uint64
+		for _, inc := range incs {
+			if inc.End <= r.Start {
+				completedBefore++
+			}
+			if inc.Start <= r.End {
+				startedBefore++
+			}
+		}
+		if r.Val < completedBefore {
+			return fmt.Errorf("read %d below %d completed increments", r.Val, completedBefore)
+		}
+		if r.Val > startedBefore {
+			return fmt.Errorf("read %d above %d started increments", r.Val, startedBefore)
+		}
+	}
+	return nil
+}

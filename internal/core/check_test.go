@@ -1,0 +1,168 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestCheckUniqueTight(t *testing.T) {
+	cases := []struct {
+		name  string
+		names []uint64
+		ok    bool
+	}{
+		{"empty", nil, true},
+		{"single", []uint64{1}, true},
+		{"tight", []uint64{3, 1, 2}, true},
+		{"duplicate", []uint64{1, 2, 2}, false},
+		{"gap", []uint64{1, 2, 4}, false},
+		{"zero", []uint64{0, 1, 2}, false},
+		{"overflow", []uint64{1, 2, 5}, false},
+	}
+	for _, tc := range cases {
+		err := CheckUniqueTight(tc.names)
+		if (err == nil) != tc.ok {
+			t.Errorf("%s: err=%v, want ok=%v", tc.name, err, tc.ok)
+		}
+	}
+}
+
+func TestCheckUniqueInRange(t *testing.T) {
+	if err := CheckUniqueInRange([]uint64{5, 9, 1}, 10); err != nil {
+		t.Errorf("sparse in range: %v", err)
+	}
+	if err := CheckUniqueInRange([]uint64{5, 11}, 10); err == nil {
+		t.Error("out of range accepted")
+	}
+	if err := CheckUniqueInRange([]uint64{5, 5}, 10); err == nil {
+		t.Error("duplicate accepted")
+	}
+}
+
+func TestCheckFetchIncLinearizableNegative(t *testing.T) {
+	// Real-time inversion: value 1 returned by an op that ended before the
+	// op returning value 0 started.
+	bad := []Interval{
+		{Start: 10, End: 20, Val: 0},
+		{Start: 0, End: 5, Val: 1},
+	}
+	if err := CheckFetchIncLinearizable(bad, 8); err == nil {
+		t.Error("real-time inversion accepted")
+	}
+	// Gap in values.
+	gap := []Interval{
+		{Start: 0, End: 1, Val: 0},
+		{Start: 2, End: 3, Val: 2},
+	}
+	if err := CheckFetchIncLinearizable(gap, 8); err == nil {
+		t.Error("value gap accepted")
+	}
+	// Duplicate below saturation.
+	dup := []Interval{
+		{Start: 0, End: 1, Val: 0},
+		{Start: 2, End: 3, Val: 0},
+	}
+	if err := CheckFetchIncLinearizable(dup, 8); err == nil {
+		t.Error("duplicate value accepted")
+	}
+	// Valid saturated history.
+	sat := []Interval{
+		{Start: 0, End: 1, Val: 0},
+		{Start: 2, End: 3, Val: 1},
+		{Start: 4, End: 5, Val: 1},
+		{Start: 6, End: 7, Val: 1},
+	}
+	if err := CheckFetchIncLinearizable(sat, 2); err != nil {
+		t.Errorf("valid saturated history rejected: %v", err)
+	}
+}
+
+func TestCheckLTASLinearizableNegative(t *testing.T) {
+	// Winner after a loser finished: not linearizable.
+	bad := []Interval{
+		{Start: 0, End: 5, Val: 0},   // loser done early
+		{Start: 10, End: 15, Val: 1}, // winner starts later
+	}
+	if err := CheckLTASLinearizable(bad, 1); err == nil {
+		t.Error("late winner accepted")
+	}
+	// Too many winners.
+	many := []Interval{
+		{Start: 0, End: 5, Val: 1},
+		{Start: 0, End: 5, Val: 1},
+	}
+	if err := CheckLTASLinearizable(many, 1); err == nil {
+		t.Error("two winners for ell=1 accepted")
+	}
+	// Fewer ops than ell: all must win.
+	few := []Interval{{Start: 0, End: 1, Val: 1}}
+	if err := CheckLTASLinearizable(few, 5); err != nil {
+		t.Errorf("underfull object rejected: %v", err)
+	}
+}
+
+func TestCheckMonotoneCounterNegative(t *testing.T) {
+	incs := []Interval{{Start: 0, End: 10, Val: 0}}
+	// Read below a completed increment.
+	if err := CheckMonotoneCounter(incs, []Interval{{Start: 20, End: 25, Val: 0}}); err == nil {
+		t.Error("read below completed increments accepted")
+	}
+	// Read above started increments.
+	if err := CheckMonotoneCounter(incs, []Interval{{Start: 20, End: 25, Val: 2}}); err == nil {
+		t.Error("read above started increments accepted")
+	}
+	// Non-monotone reads in real time.
+	reads := []Interval{
+		{Start: 20, End: 25, Val: 1},
+		{Start: 30, End: 35, Val: 0},
+	}
+	incs2 := []Interval{{Start: 0, End: 10, Val: 0}, {Start: 0, End: 40, Val: 0}}
+	if err := CheckMonotoneCounter(incs2, reads); err == nil {
+		t.Error("decreasing reads accepted")
+	}
+}
+
+func TestCounterLinearizableOracle(t *testing.T) {
+	// Sequential histories are linearizable.
+	incs := []Interval{{0, 1, 0}, {10, 11, 0}}
+	reads := []Interval{{5, 6, 1}, {15, 16, 2}}
+	if !CounterLinearizable(incs, reads) {
+		t.Error("sequential history rejected")
+	}
+	// A read too high for any ordering.
+	badReads := []Interval{{5, 6, 2}}
+	if CounterLinearizable(incs, badReads) {
+		t.Error("impossible read accepted")
+	}
+	// Concurrency allows reordering: inc and read overlap, read may or may
+	// not see it.
+	overlapInc := []Interval{{0, 10, 0}}
+	if !CounterLinearizable(overlapInc, []Interval{{5, 6, 0}}) {
+		t.Error("overlapping unseen inc rejected")
+	}
+	if !CounterLinearizable(overlapInc, []Interval{{5, 6, 1}}) {
+		t.Error("overlapping seen inc rejected")
+	}
+}
+
+// TestCheckersQuickSequential cross-validates CheckFetchIncLinearizable
+// against randomly generated genuinely-sequential executions, which must
+// always pass.
+func TestCheckersQuickSequential(t *testing.T) {
+	prop := func(nRaw uint8, mRaw uint8) bool {
+		n := int(nRaw)%20 + 1
+		m := uint64(mRaw)%16 + 1
+		ops := make([]Interval, n)
+		for i := 0; i < n; i++ {
+			v := uint64(i)
+			if v >= m {
+				v = m - 1
+			}
+			ops[i] = Interval{Start: uint64(i * 10), End: uint64(i*10 + 5), Val: v}
+		}
+		return CheckFetchIncLinearizable(ops, m) == nil
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,114 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/shmem"
+	"repro/internal/sim"
+)
+
+func TestLongLivedSequentialReuse(t *testing.T) {
+	rt := sim.New(1, sim.NewRoundRobin())
+	ll := NewLongLived(rt, newStrongAdaptive(rt))
+	var got []uint64
+	rt.Run(1, func(p shmem.Proc) {
+		a := ll.Acquire(p) // fresh: 1
+		b := ll.Acquire(p) // fresh: 2
+		ll.Release(p, a)
+		c := ll.Acquire(p) // must recycle a
+		got = append(got, a, b, c)
+	})
+	if got[0] != got[2] {
+		t.Fatalf("released name %d not recycled (got %d)", got[0], got[2])
+	}
+	if got[0] == got[1] {
+		t.Fatalf("duplicate live names %v", got)
+	}
+}
+
+// TestLongLivedUniqueness runs churn under every adversary: each process
+// repeatedly acquires, holds, and releases; at every instant the set of
+// held names must be duplicate-free. The simulator serializes steps, so a
+// shared holders map updated between operations is an exact monitor.
+func TestLongLivedUniqueness(t *testing.T) {
+	for name := range adversaries(0) {
+		for seed := uint64(0); seed < 8; seed++ {
+			adv := adversaries(seed)[name]
+			rt := sim.New(seed, adv)
+			ll := NewLongLived(rt, newStrongAdaptive(rt))
+			holders := map[uint64]int{}
+			bad := false
+			const k, rounds = 6, 5
+			rt.Run(k, func(p shmem.Proc) {
+				for r := 0; r < rounds; r++ {
+					n := ll.Acquire(p)
+					if holders[n] != 0 {
+						bad = true
+					}
+					holders[n]++
+					// Hold across a few steps so overlaps actually occur.
+					for i := 0; i < 3; i++ {
+						ll.head.Read(p)
+					}
+					holders[n]--
+					ll.Release(p, n)
+				}
+			})
+			if bad {
+				t.Fatalf("adv=%s seed=%d: duplicate live name", name, seed)
+			}
+		}
+	}
+}
+
+// TestLongLivedNamespaceBounded: with churn, recycling keeps the namespace
+// near the peak concurrent holding, far below the total operation count.
+func TestLongLivedNamespaceBounded(t *testing.T) {
+	rt := sim.New(3, sim.NewRandom(3))
+	ll := NewLongLived(rt, newStrongAdaptive(rt))
+	const k, rounds = 4, 25
+	var maxName uint64
+	rt.Run(k, func(p shmem.Proc) {
+		for r := 0; r < rounds; r++ {
+			n := ll.Acquire(p)
+			if n > maxName {
+				maxName = n // serialized by the simulator
+			}
+			ll.Release(p, n)
+		}
+	})
+	// 100 acquisitions total, but at most k held at once: the namespace
+	// must stay near k, not near k*rounds.
+	if maxName > 3*k {
+		t.Fatalf("namespace grew to %d names for %d concurrent holders", maxName, k)
+	}
+}
+
+// TestLongLivedABARegression drives the exact pop/re-push interleaving the
+// tagged head defends against: a scripted schedule makes process 0 read
+// the head and its next pointer, then process 1 pops that name, pops
+// another, and re-pushes the first before process 0's CAS. Without the
+// version tag process 0's CAS would succeed and resurrect a stale next.
+func TestLongLivedABARegression(t *testing.T) {
+	for seed := uint64(0); seed < 30; seed++ {
+		rt := sim.New(seed, sim.NewRandom(seed))
+		ll := NewLongLived(rt, newStrongAdaptive(rt))
+		holders := map[uint64]bool{}
+		bad := false
+		rt.Run(3, func(p shmem.Proc) {
+			for r := 0; r < 6; r++ {
+				n := ll.Acquire(p)
+				if holders[n] {
+					bad = true
+				}
+				holders[n] = true
+				holders[n] = false
+				delete(holders, n)
+				ll.Release(p, n)
+			}
+		})
+		if bad {
+			t.Fatalf("seed=%d: duplicate live name (ABA)", seed)
+		}
+	}
+}

@@ -1,0 +1,102 @@
+package core
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/shmem"
+	"repro/internal/sim"
+	"repro/internal/sortnet"
+	"repro/internal/tas"
+)
+
+// fixedTemp is a scripted TempNamer: invocation order determines which of
+// the preset temporary names a process receives. It isolates stage two
+// (the renaming network) from splitter randomness, so the tests can feed
+// the network adversarially chosen input wires.
+type fixedTemp struct {
+	mu    sync.Mutex
+	names []uint64
+	next  int
+}
+
+func (f *fixedTemp) Acquire(p shmem.Proc, uid uint64) uint64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.next >= len(f.names) {
+		panic("fixedTemp: more invocations than preset names")
+	}
+	n := f.names[f.next]
+	f.next++
+	return n
+}
+
+// TestStrongAdaptiveWorstCaseTempNames feeds the renaming network sparse,
+// clustered and adversarial wire assignments. Theorem 1 requires tight
+// output names for ANY distinct input wires, not just the splitter tree's.
+func TestStrongAdaptiveWorstCaseTempNames(t *testing.T) {
+	cases := map[string][]uint64{
+		"dense-low":       {1, 2, 3, 4, 5, 6, 7, 8},
+		"adjacent-high":   {1 << 20, 1<<20 + 1, 1<<20 + 2, 1<<20 + 3},
+		"powers-of-two":   {1, 2, 4, 8, 16, 32, 64, 128, 256, 512},
+		"huge-spread":     {1, 1000, 1 << 10, 1 << 15, 1 << 20, 1 << 24},
+		"boundary-ells":   {1, 2, 3, 8, 9, 127, 128, 129, 32767, 32768, 32769},
+		"single-huge":     {1 << 24},
+		"reverse-ordered": {500, 400, 300, 200, 100, 1},
+	}
+	for name, temps := range cases {
+		for seed := uint64(0); seed < 10; seed++ {
+			k := len(temps)
+			rt := sim.New(seed, sim.NewRandom(seed))
+			sa := NewStrongAdaptive(rt, &fixedTemp{names: temps}, tas.MakeTwoProc)
+			names := make([]uint64, k)
+			rt.Run(k, func(p shmem.Proc) {
+				names[p.ID()] = sa.Rename(p, uint64(p.ID())+1)
+			})
+			if err := CheckUniqueTight(names); err != nil {
+				t.Fatalf("case=%s seed=%d: %v (temps %v → names %v)", name, seed, err, temps, names)
+			}
+		}
+	}
+}
+
+// TestStrongAdaptiveTempNameDeterminesCost verifies the Theorem 2/3 cost
+// coupling end to end: the same single process pays more comparators the
+// higher its entry wire.
+func TestStrongAdaptiveTempNameDeterminesCost(t *testing.T) {
+	cost := func(temp uint64) uint64 {
+		rt := sim.New(1, sim.NewRoundRobin())
+		sa := NewStrongAdaptive(rt, &fixedTemp{names: []uint64{temp}}, tas.MakeTwoProc)
+		st := rt.Run(1, func(p shmem.Proc) {
+			sa.Rename(p, 1)
+		})
+		return st.MaxEvent(shmem.EvComparator)
+	}
+	low, mid, high := cost(1), cost(1<<10), cost(1<<24)
+	if !(low < mid && mid < high) {
+		t.Fatalf("comparator counts not monotone in entry wire: %d, %d, %d", low, mid, high)
+	}
+	// And still polylogarithmic: wire 2^24 must cost well under the wire
+	// index (the linear-probing alternative).
+	if high > 3000 {
+		t.Fatalf("wire 2^24 cost %d comparators; not polylog", high)
+	}
+}
+
+// TestStrongAdaptiveBalancedBaseWorstCase repeats the adversarial wire
+// sweep over the balanced-network base.
+func TestStrongAdaptiveBalancedBaseWorstCase(t *testing.T) {
+	temps := []uint64{1, 2, 127, 128, 1 << 15, 1<<15 + 1, 1 << 20}
+	for seed := uint64(0); seed < 10; seed++ {
+		k := len(temps)
+		rt := sim.New(seed, sim.NewRandom(seed))
+		sa := NewStrongAdaptiveWithBase(rt, &fixedTemp{names: temps}, tas.MakeTwoProc, sortnet.BaseBalanced)
+		names := make([]uint64, k)
+		rt.Run(k, func(p shmem.Proc) {
+			names[p.ID()] = sa.Rename(p, uint64(p.ID())+1)
+		})
+		if err := CheckUniqueTight(names); err != nil {
+			t.Fatalf("seed=%d: %v", seed, err)
+		}
+	}
+}

@@ -1,0 +1,215 @@
+// Package countnet implements counting networks (Aspnes, Herlihy, Shavit
+// [26]) — the related shared objects Section 3 of the paper positions
+// renaming networks against. A counting network is a network of balancers:
+// a balancer forwards incoming tokens alternately to its top and bottom
+// output; a counting network's exit distribution satisfies the step
+// property, which turns per-output exit counters into a shared counter.
+//
+// The paper observes (citing Attiya, Herlihy, Rachman [27]) that any
+// sorting network used by at most one process per wire is a counting
+// network — which is exactly the Section 5 renaming construction. The
+// tests exercise both directions of that remark: the bitonic balancer
+// network counts under arbitrary concurrency, and one-token-per-wire
+// traffic through it assigns tight ranks just like a renaming network.
+package countnet
+
+import (
+	"fmt"
+
+	"repro/internal/shmem"
+)
+
+// Balancer is a two-output toggle: tokens alternate top (true) and bottom
+// (false), starting with top. Implemented as a CAS toggle (unit-cost
+// hardware step, the same accounting as the renaming comparators' TAS).
+type Balancer struct {
+	state shmem.CASReg
+}
+
+// NewBalancer allocates a balancer from mem.
+func NewBalancer(mem shmem.Mem) *Balancer {
+	return &Balancer{state: mem.NewCASReg(0)}
+}
+
+// Traverse passes one token: true = top output.
+func (b *Balancer) Traverse(p shmem.Proc) bool {
+	for {
+		s := b.state.Read(p)
+		if b.state.CompareAndSwap(p, s, s+1) {
+			return s%2 == 0
+		}
+	}
+}
+
+// gate is one balancer wired onto two physical wires: a token leaving on
+// top continues on wire A, on bottom on wire B.
+type gate struct {
+	a, b int32
+	bal  *Balancer
+}
+
+// Network is the bitonic counting network Bitonic[w] of [26]: w must be a
+// power of two. Gates are grouped into parallel layers; any number of
+// tokens can enter on any wires concurrently.
+type Network struct {
+	width  int
+	gates  []gate // construction order (valid per-wire sequential order)
+	layers [][]gate
+	// order maps logical output index to physical wire: the recursive
+	// merger wiring is a permutation, and the step property is stated in
+	// logical output order.
+	order []int
+	// exits[logical] counts tokens that left on that logical output.
+	exits []shmem.CASReg
+}
+
+// NewBitonic builds Bitonic[width] from mem. Width must be a power of two.
+func NewBitonic(mem shmem.Mem, width int) *Network {
+	if width < 1 || width&(width-1) != 0 {
+		panic(fmt.Sprintf("countnet: width %d is not a power of two", width))
+	}
+	n := &Network{width: width}
+	wires := make([]int, width)
+	for i := range wires {
+		wires[i] = i
+	}
+	n.order = n.bitonic(mem, wires)
+	n.layer()
+	n.exits = make([]shmem.CASReg, width)
+	for i := range n.exits {
+		n.exits[i] = mem.NewCASReg(0)
+	}
+	return n
+}
+
+// layer packs the flat gate list into parallel layers with ASAP
+// scheduling, preserving the relative order of gates sharing a wire (the
+// same construction sortnet uses for comparator stages).
+func (n *Network) layer() {
+	last := make([]int, n.width)
+	for _, g := range n.gates {
+		s := last[g.a]
+		if last[g.b] > s {
+			s = last[g.b]
+		}
+		if s == len(n.layers) {
+			n.layers = append(n.layers, nil)
+		}
+		n.layers[s] = append(n.layers[s], g)
+		last[g.a], last[g.b] = s+1, s+1
+	}
+}
+
+// Width returns the number of wires.
+func (n *Network) Width() int { return n.width }
+
+// Depth returns the number of balancer layers.
+func (n *Network) Depth() int { return len(n.layers) }
+
+// bitonic recursively constructs Bitonic over the given logical wire list
+// and returns the logical output order (physical wires).
+func (n *Network) bitonic(mem shmem.Mem, wires []int) []int {
+	k := len(wires)
+	if k == 1 {
+		return wires
+	}
+	top := n.bitonic(mem, wires[:k/2])
+	bot := n.bitonic(mem, wires[k/2:])
+	return n.merger(mem, top, bot)
+}
+
+// merger implements Merger[2k] of [26]: it merges two sequences with the
+// step property into one. The even-indexed outputs of the first sequence
+// and odd-indexed of the second feed sub-merger A; the complements feed B;
+// a final layer of balancers interleaves A's and B's outputs.
+func (n *Network) merger(mem shmem.Mem, x, y []int) []int {
+	k := len(x)
+	if k == 1 {
+		n.gates = append(n.gates, gate{a: int32(x[0]), b: int32(y[0]), bal: NewBalancer(mem)})
+		return []int{x[0], y[0]}
+	}
+	var ax, bx []int
+	for i, w := range x {
+		if i%2 == 0 {
+			ax = append(ax, w)
+		} else {
+			bx = append(bx, w)
+		}
+	}
+	for i, w := range y {
+		if i%2 == 0 {
+			bx = append(bx, w)
+		} else {
+			ax = append(ax, w)
+		}
+	}
+	// The two sub-mergers operate on disjoint wires, so their gates can
+	// share layers; the ASAP pass in layer() recovers the parallelism.
+	za := n.merger(mem, ax[:k/2], ax[k/2:])
+	zb := n.merger(mem, bx[:k/2], bx[k/2:])
+	out := make([]int, 0, 2*k)
+	for i := 0; i < k; i++ {
+		n.gates = append(n.gates, gate{a: int32(za[i]), b: int32(zb[i]), bal: NewBalancer(mem)})
+		out = append(out, za[i], zb[i])
+	}
+	return out
+}
+
+// Traverse sends one token in on the given input wire (0 ≤ in < width),
+// records its exit, and returns the logical output index it left on plus
+// the number of tokens that exited there before it.
+func (n *Network) Traverse(p shmem.Proc, in int) (logical int, prior uint64) {
+	if in < 0 || in >= n.width {
+		panic(fmt.Sprintf("countnet: input wire %d out of range", in))
+	}
+	wire := int32(in)
+	for _, layer := range n.layers {
+		for _, g := range layer {
+			if wire != g.a && wire != g.b {
+				continue
+			}
+			if g.bal.Traverse(p) {
+				wire = g.a
+			} else {
+				wire = g.b
+			}
+			break
+		}
+	}
+	logical = -1
+	for l, phys := range n.order {
+		if int32(phys) == wire {
+			logical = l
+			break
+		}
+	}
+	if logical < 0 {
+		panic("countnet: token left on unknown wire")
+	}
+	for {
+		c := n.exits[logical].Read(p)
+		if n.exits[logical].CompareAndSwap(p, c, c+1) {
+			return logical, c
+		}
+	}
+}
+
+// Next takes one counter value: the token traverses the network from a
+// wire derived from the caller's coin, then claims a slot on its exit's
+// counter. Values across all callers are distinct and — at quiescence —
+// consecutive from 1.
+func (n *Network) Next(p shmem.Proc) uint64 {
+	in := int(p.Coin(uint64(n.width)))
+	logical, c := n.Traverse(p, in)
+	return uint64(logical) + uint64(n.width)*c + 1
+}
+
+// ExitCounts reads the per-logical-output exit counters (for the step
+// property checks).
+func (n *Network) ExitCounts(p shmem.Proc) []uint64 {
+	out := make([]uint64, n.width)
+	for i, r := range n.exits {
+		out[i] = r.Read(p)
+	}
+	return out
+}

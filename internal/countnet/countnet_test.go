@@ -1,0 +1,177 @@
+package countnet
+
+import (
+	"sort"
+	"testing"
+
+	"repro/internal/shmem"
+	"repro/internal/sim"
+)
+
+func adversaries(seed uint64) map[string]sim.Adversary {
+	return map[string]sim.Adversary{
+		"roundrobin": sim.NewRoundRobin(),
+		"random":     sim.NewRandom(seed),
+		"sequential": sim.NewSequential(),
+		"oscillator": sim.NewOscillator(4),
+	}
+}
+
+// checkStep verifies the step property: counts are non-increasing in
+// logical output order and differ by at most one.
+func checkStep(t *testing.T, counts []uint64, total uint64) {
+	t.Helper()
+	var sum uint64
+	for i, c := range counts {
+		sum += c
+		if i > 0 && counts[i-1] < c {
+			t.Fatalf("step property violated: counts %v", counts)
+		}
+	}
+	if counts[0]-counts[len(counts)-1] > 1 {
+		t.Fatalf("step property violated (gap > 1): counts %v", counts)
+	}
+	if sum != total {
+		t.Fatalf("token conservation violated: %v sums to %d, want %d", counts, sum, total)
+	}
+}
+
+func TestBitonicStructure(t *testing.T) {
+	for _, w := range []int{1, 2, 4, 8, 16, 32} {
+		rt := sim.New(1, sim.NewRoundRobin())
+		n := NewBitonic(rt, w)
+		if n.Width() != w {
+			t.Fatalf("width %d", n.Width())
+		}
+		// Depth of Bitonic[w] is lg(w)(lg(w)+1)/2.
+		lg := 0
+		for v := w; v > 1; v >>= 1 {
+			lg++
+		}
+		if want := lg * (lg + 1) / 2; n.Depth() != want {
+			t.Errorf("w=%d: depth %d, want %d", w, n.Depth(), want)
+		}
+		// The output order must be a permutation of the wires.
+		perm := append([]int(nil), n.order...)
+		sort.Ints(perm)
+		for i, p := range perm {
+			if p != i {
+				t.Fatalf("w=%d: output order %v is not a permutation", w, n.order)
+			}
+		}
+	}
+}
+
+func TestBitonicRejectsNonPowerOfTwo(t *testing.T) {
+	rt := sim.New(1, sim.NewRoundRobin())
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewBitonic(rt, 6)
+}
+
+// TestStepPropertySequential pushes tokens one at a time: after every
+// token, the exit counts must satisfy the step property exactly — the
+// defining behaviour of a counting network.
+func TestStepPropertySequential(t *testing.T) {
+	for _, w := range []int{2, 4, 8, 16} {
+		rt := sim.New(7, sim.NewRoundRobin())
+		n := NewBitonic(rt, w)
+		rt.Run(1, func(p shmem.Proc) {
+			for tok := 1; tok <= 3*w+1; tok++ {
+				n.Traverse(p, int(p.Coin(uint64(w))))
+				checkStep(t, n.ExitCounts(p), uint64(tok))
+			}
+		})
+	}
+}
+
+// TestStepPropertyConcurrent checks the step property at quiescence after
+// concurrent traversals, under several adversaries.
+func TestStepPropertyConcurrent(t *testing.T) {
+	for name := range adversaries(0) {
+		for seed := uint64(0); seed < 10; seed++ {
+			const w, k, each = 8, 6, 4
+			rt := sim.New(seed, adversaries(seed)[name])
+			n := NewBitonic(rt, w)
+			done := rt.NewCASReg(0)
+			var final []uint64
+			rt.Run(k, func(p shmem.Proc) {
+				for i := 0; i < each; i++ {
+					n.Traverse(p, int(p.Coin(w)))
+				}
+				// The last process to finish reads the quiescent counts.
+				for {
+					d := done.Read(p)
+					if done.CompareAndSwap(p, d, d+1) {
+						if d+1 == k {
+							final = n.ExitCounts(p)
+						}
+						break
+					}
+				}
+			})
+			checkStep(t, final, k*each)
+		}
+	}
+}
+
+// TestCounterValuesConsecutive: at quiescence the values handed out by
+// Next are exactly 1..T — the counting application of [26].
+func TestCounterValuesConsecutive(t *testing.T) {
+	for seed := uint64(0); seed < 15; seed++ {
+		rt := sim.New(seed, sim.NewRandom(seed))
+		n := NewBitonic(rt, 8)
+		const k, each = 5, 4
+		var got []uint64
+		rt.Run(k, func(p shmem.Proc) {
+			for i := 0; i < each; i++ {
+				got = append(got, n.Next(p)) // serialized by the simulator
+			}
+		})
+		sort.Slice(got, func(i, j int) bool { return got[i] < got[j] })
+		for i, v := range got {
+			if v != uint64(i)+1 {
+				t.Fatalf("seed=%d: values %v are not 1..%d", seed, got, k*each)
+			}
+		}
+	}
+}
+
+// TestOneTokenPerWireRanks is the paper's Section 3 remark made
+// executable: with at most one token per input wire, traversing the
+// network assigns distinct logical outputs 0..k−1 — the non-adaptive
+// renaming behaviour of Section 5, through balancers instead of TAS.
+func TestOneTokenPerWireRanks(t *testing.T) {
+	const w = 16
+	for seed := uint64(0); seed < 15; seed++ {
+		for _, k := range []int{1, 5, w} {
+			rt := sim.New(seed, sim.NewRandom(seed))
+			n := NewBitonic(rt, w)
+			ranks := make([]int, k)
+			rt.Run(k, func(p shmem.Proc) {
+				ranks[p.ID()], _ = n.Traverse(p, p.ID()*w/k)
+			})
+			seen := map[int]bool{}
+			for _, r := range ranks {
+				if r < 0 || r >= k || seen[r] {
+					t.Fatalf("seed=%d k=%d: ranks %v not tight", seed, k, ranks)
+				}
+				seen[r] = true
+			}
+		}
+	}
+}
+
+func TestTraverseRejectsBadWire(t *testing.T) {
+	rt := sim.New(1, sim.NewRoundRobin())
+	n := NewBitonic(rt, 4)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	rt.Run(1, func(p shmem.Proc) { n.Traverse(p, 4) })
+}

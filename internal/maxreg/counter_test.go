@@ -1,0 +1,119 @@
+package maxreg
+
+import (
+	"testing"
+
+	"repro/internal/shmem"
+	"repro/internal/sim"
+)
+
+func TestAACCounterSequential(t *testing.T) {
+	rt := sim.New(1, sim.NewRoundRobin())
+	c := NewAACCounter(rt, 1)
+	var reads []uint64
+	rt.Run(1, func(p shmem.Proc) {
+		reads = append(reads, c.Read(p))
+		for i := 0; i < 5; i++ {
+			c.Inc(p)
+			reads = append(reads, c.Read(p))
+		}
+	})
+	for i, v := range reads {
+		if v != uint64(i) {
+			t.Fatalf("reads = %v, want 0..5", reads)
+		}
+	}
+}
+
+func TestAACCounterConcurrentExact(t *testing.T) {
+	// Unlike the monotone counter, this baseline is linearizable: after
+	// quiescence the value equals the number of increments, under every
+	// adversary.
+	advs := map[string]func(seed uint64) sim.Adversary{
+		"roundrobin": func(uint64) sim.Adversary { return sim.NewRoundRobin() },
+		"random":     func(s uint64) sim.Adversary { return sim.NewRandom(s) },
+		"sequential": func(uint64) sim.Adversary { return sim.NewSequential() },
+		"laggard":    func(uint64) sim.Adversary { return sim.NewLaggard(0) },
+	}
+	const k, each = 6, 5
+	for name, mk := range advs {
+		for seed := uint64(0); seed < 10; seed++ {
+			rt := sim.New(seed, mk(seed))
+			c := NewAACCounter(rt, k)
+			done := rt.NewCASReg(0)
+			var final uint64
+			rt.Run(k, func(p shmem.Proc) {
+				for i := 0; i < each; i++ {
+					c.Inc(p)
+				}
+				for {
+					d := done.Read(p)
+					if done.CompareAndSwap(p, d, d+1) {
+						if d+1 == k {
+							final = c.Read(p)
+						}
+						break
+					}
+				}
+			})
+			if final != k*each {
+				t.Fatalf("adv=%s seed=%d: final=%d, want %d", name, seed, final, k*each)
+			}
+		}
+	}
+}
+
+func TestAACCounterMonotoneUnderConcurrency(t *testing.T) {
+	for seed := uint64(0); seed < 10; seed++ {
+		rt := sim.New(seed, sim.NewRandom(seed))
+		c := NewAACCounter(rt, 4)
+		violated := false
+		rt.Run(4, func(p shmem.Proc) {
+			last := uint64(0)
+			for i := 0; i < 5; i++ {
+				c.Inc(p)
+				v := c.Read(p)
+				if v < last {
+					violated = true
+				}
+				last = v
+			}
+		})
+		if violated {
+			t.Fatalf("seed=%d: reads went backwards", seed)
+		}
+	}
+}
+
+func TestAACCounterStepComplexity(t *testing.T) {
+	// O(log n · log v) per increment: quadrupling n roughly doubles the
+	// increment cost (one extra tree level per doubling).
+	cost := func(n int) uint64 {
+		rt := sim.New(1, sim.NewSequential())
+		c := NewAACCounter(rt, n)
+		st := rt.Run(1, func(p shmem.Proc) {
+			for i := 0; i < 4; i++ {
+				c.Inc(p)
+			}
+		})
+		return st.TotalSteps() / 4
+	}
+	c4, c64 := cost(4), cost(64)
+	if c64 > 4*c4 {
+		t.Errorf("increment cost grew from %d (n=4) to %d (n=64): worse than O(log n) scaling", c4, c64)
+	}
+	if c64 <= c4 {
+		t.Errorf("increment cost %d (n=64) not above %d (n=4); tree depth not charged", c64, c4)
+	}
+}
+
+func TestAACCounterRejectsBadID(t *testing.T) {
+	rt := sim.New(1, sim.NewRoundRobin())
+	c := NewAACCounter(rt, 2)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	rt.Run(3, func(p shmem.Proc) { c.Inc(p) })
+}

@@ -1,0 +1,176 @@
+// Package maxreg implements max registers after Aspnes, Attiya and Censor,
+// "Max registers, counters, and monotone circuits" (PODC 2009) — reference
+// [17] of the paper. A max register supports WriteMax(v) and ReadMax, where
+// ReadMax returns the largest value written so far.
+//
+// The bounded register is the recursive tree construction with O(log m)
+// step complexity; the unbounded register chains bounded trees of doubling
+// width along a spine, giving O(log v) cost where v is the largest value
+// involved. The paper's monotone-consistent counter (Section 8.1) writes
+// renaming-network names into an unbounded max register.
+package maxreg
+
+import (
+	"sync"
+
+	"repro/internal/shmem"
+)
+
+// MaxReg is a linearizable max register.
+type MaxReg interface {
+	// WriteMax raises the register to at least v.
+	WriteMax(p shmem.Proc, v uint64)
+	// ReadMax returns the largest value written by any completed WriteMax
+	// (and possibly one from a concurrent write).
+	ReadMax(p shmem.Proc) uint64
+}
+
+// Bounded is the AAC tree max register over values [0, m).
+//
+// Structure: a switch bit splits the range in half; the left subtree holds
+// the low half, the right subtree the high half. A high write fills the
+// right subtree before flipping the switch, so any reader directed right
+// finds a complete value. Children are allocated lazily (allocation is
+// bookkeeping outside the step-counted model).
+type Bounded struct {
+	mem  shmem.Mem
+	m    uint64
+	high shmem.Reg
+
+	mu          sync.Mutex
+	left, right *Bounded
+}
+
+var _ MaxReg = (*Bounded)(nil)
+
+// NewBounded returns a max register over [0, m), m ≥ 1.
+func NewBounded(mem shmem.Mem, m uint64) *Bounded {
+	if m < 1 {
+		panic("maxreg: capacity must be at least 1")
+	}
+	b := &Bounded{mem: mem, m: m}
+	if m > 1 {
+		b.high = mem.NewReg(0)
+	}
+	return b
+}
+
+// half returns the split point: left covers [0, half), right [half, m).
+func (b *Bounded) half() uint64 { return (b.m + 1) / 2 }
+
+func (b *Bounded) children() (*Bounded, *Bounded) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.left == nil {
+		b.left = NewBounded(b.mem, b.half())
+		b.right = NewBounded(b.mem, b.m-b.half())
+	}
+	return b.left, b.right
+}
+
+// WriteMax raises the register to at least v. Cost: O(log m) steps.
+func (b *Bounded) WriteMax(p shmem.Proc, v uint64) {
+	if v >= b.m {
+		panic("maxreg: value out of range")
+	}
+	if b.m == 1 {
+		return // only value 0: nothing to record
+	}
+	left, right := b.children()
+	if v < b.half() {
+		if b.high.Read(p) == 0 {
+			left.WriteMax(p, v)
+		}
+		return
+	}
+	right.WriteMax(p, v-b.half())
+	b.high.Write(p, 1)
+}
+
+// ReadMax returns the current maximum. Cost: O(log m) steps.
+func (b *Bounded) ReadMax(p shmem.Proc) uint64 {
+	if b.m == 1 {
+		return 0
+	}
+	left, right := b.children()
+	if b.high.Read(p) == 1 {
+		return b.half() + right.ReadMax(p)
+	}
+	return left.ReadMax(p)
+}
+
+// Unbounded chains bounded trees of doubling width along a spine. Spine
+// node j holds values in [2^j − 1, 2^(j+1) − 1) in a Bounded of width 2^j,
+// plus a bit routing readers deeper. A writer fills its tree first and then
+// sets the spine bits from deepest to shallowest, so a reader that follows
+// set bits always lands on a tree holding a complete value.
+//
+// Cost: O(log v) steps for both operations, v the largest value involved —
+// the bound Lemma 4 of the paper charges to the counter's max register.
+type Unbounded struct {
+	mem shmem.Mem
+
+	mu    sync.Mutex
+	spine []*spineNode
+}
+
+type spineNode struct {
+	deeper shmem.Reg
+	tree   *Bounded
+}
+
+var _ MaxReg = (*Unbounded)(nil)
+
+// NewUnbounded returns an empty unbounded max register.
+func NewUnbounded(mem shmem.Mem) *Unbounded {
+	return &Unbounded{mem: mem}
+}
+
+// node returns spine node j, allocating the prefix lazily.
+func (u *Unbounded) node(j int) *spineNode {
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	for len(u.spine) <= j {
+		w := uint64(1) << uint(len(u.spine))
+		u.spine = append(u.spine, &spineNode{
+			deeper: u.mem.NewReg(0),
+			tree:   NewBounded(u.mem, w),
+		})
+	}
+	return u.spine[j]
+}
+
+// base returns the smallest value stored at spine node j: 2^j − 1.
+func base(j int) uint64 { return uint64(1)<<uint(j) - 1 }
+
+// level returns the spine node whose range contains v.
+func level(v uint64) int {
+	j := 0
+	for v >= base(j+1) {
+		j++
+	}
+	return j
+}
+
+// WriteMax raises the register to at least v.
+func (u *Unbounded) WriteMax(p shmem.Proc, v uint64) {
+	if v > uint64(1)<<62 {
+		panic("maxreg: value too large")
+	}
+	j := level(v)
+	u.node(j).tree.WriteMax(p, v-base(j))
+	// Deep-first bit setting: a reader that sees deeper=1 at node i < j
+	// will find every bit up to j−1 already set and reach the full value.
+	for i := j - 1; i >= 0; i-- {
+		u.node(i).deeper.Write(p, 1)
+	}
+}
+
+// ReadMax returns the current maximum.
+func (u *Unbounded) ReadMax(p shmem.Proc) uint64 {
+	j := 0
+	for u.node(j).deeper.Read(p) == 1 {
+		j++
+	}
+	return base(j) + u.node(j).tree.ReadMax(p)
+}

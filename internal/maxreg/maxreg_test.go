@@ -1,0 +1,240 @@
+package maxreg
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/shmem"
+	"repro/internal/sim"
+)
+
+func TestBoundedSequential(t *testing.T) {
+	rt := sim.New(1, sim.NewRoundRobin())
+	r := NewBounded(rt, 100)
+	var reads []uint64
+	rt.Run(1, func(p shmem.Proc) {
+		reads = append(reads, r.ReadMax(p))
+		r.WriteMax(p, 5)
+		reads = append(reads, r.ReadMax(p))
+		r.WriteMax(p, 3) // lower: must not regress
+		reads = append(reads, r.ReadMax(p))
+		r.WriteMax(p, 99)
+		reads = append(reads, r.ReadMax(p))
+		r.WriteMax(p, 0)
+		reads = append(reads, r.ReadMax(p))
+	})
+	want := []uint64{0, 5, 5, 99, 99}
+	for i := range want {
+		if reads[i] != want[i] {
+			t.Fatalf("reads = %v, want %v", reads, want)
+		}
+	}
+}
+
+func TestBoundedRejectsOutOfRange(t *testing.T) {
+	rt := sim.New(1, sim.NewRoundRobin())
+	r := NewBounded(rt, 8)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	rt.Run(1, func(p shmem.Proc) { r.WriteMax(p, 8) })
+}
+
+func TestBoundedStepComplexity(t *testing.T) {
+	// O(log m): each op descends one root-leaf path of the binary range
+	// tree, one register step per level.
+	for _, m := range []uint64{2, 16, 1024, 1 << 20} {
+		rt := sim.New(1, sim.NewRoundRobin())
+		r := NewBounded(rt, m)
+		st := rt.Run(1, func(p shmem.Proc) {
+			r.WriteMax(p, m-1)
+			r.ReadMax(p)
+		})
+		lg := uint64(0)
+		for v := m; v > 1; v >>= 1 {
+			lg++
+		}
+		if got := st.PerProc[0].Steps(); got > 4*lg+4 {
+			t.Errorf("m=%d: %d steps for write+read, want O(log m) ~ %d", m, got, 4*lg+4)
+		}
+	}
+}
+
+func TestSequentialQuick(t *testing.T) {
+	// Property: against any sequence of writes, ReadMax equals the running
+	// maximum, for both implementations.
+	prop := func(vals []uint16) bool {
+		rt := sim.New(1, sim.NewRoundRobin())
+		bounded := NewBounded(rt, 1<<16)
+		unbounded := NewUnbounded(rt)
+		ok := true
+		rt.Run(1, func(p shmem.Proc) {
+			var max uint64
+			for _, raw := range vals {
+				v := uint64(raw)
+				bounded.WriteMax(p, v)
+				unbounded.WriteMax(p, v)
+				if v > max {
+					max = v
+				}
+				if bounded.ReadMax(p) != max || unbounded.ReadMax(p) != max {
+					ok = false
+					return
+				}
+			}
+		})
+		return ok
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUnboundedLargeValues(t *testing.T) {
+	rt := sim.New(1, sim.NewRoundRobin())
+	r := NewUnbounded(rt)
+	var got []uint64
+	rt.Run(1, func(p shmem.Proc) {
+		for _, v := range []uint64{0, 1, 2, 3, 1000, 999, 1 << 30, 1 << 20} {
+			r.WriteMax(p, v)
+			got = append(got, r.ReadMax(p))
+		}
+	})
+	want := []uint64{0, 1, 2, 3, 1000, 1000, 1 << 30, 1 << 30}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("reads %v, want %v", got, want)
+		}
+	}
+}
+
+func TestUnboundedStepComplexityAdaptive(t *testing.T) {
+	// Cost must scale with log(v), not with any fixed capacity.
+	cost := func(v uint64) uint64 {
+		rt := sim.New(1, sim.NewRoundRobin())
+		r := NewUnbounded(rt)
+		st := rt.Run(1, func(p shmem.Proc) {
+			r.WriteMax(p, v)
+			r.ReadMax(p)
+		})
+		return st.PerProc[0].Steps()
+	}
+	small, large := cost(3), cost(1<<40)
+	if small >= large {
+		t.Fatalf("cost(3)=%d >= cost(2^40)=%d", small, large)
+	}
+	if small > 20 {
+		t.Errorf("cost(3) = %d steps, want O(log v) small", small)
+	}
+	if large > 400 {
+		t.Errorf("cost(2^40) = %d steps, want O(log v)", large)
+	}
+}
+
+// TestQuickScriptedSchedules is the property-based schedule sweep: under
+// quick-generated schedules and write sets, a reader that runs after all
+// writers completed must see the global maximum.
+func TestQuickScriptedSchedules(t *testing.T) {
+	prop := func(seed uint64, raw []uint16, script []byte) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		if len(raw) > 6 {
+			raw = raw[:6]
+		}
+		k := len(raw)
+		ids := make([]int, len(script))
+		for i, b := range script {
+			ids[i] = int(b) % (k + 1)
+		}
+		rt := sim.New(seed, sim.NewReplay(ids))
+		r := NewUnbounded(rt)
+		done := rt.NewCASReg(0)
+		var max, got uint64
+		for _, v := range raw {
+			if uint64(v) > max {
+				max = uint64(v)
+			}
+		}
+		rt.Run(k+1, func(p shmem.Proc) {
+			if p.ID() < k {
+				r.WriteMax(p, uint64(raw[p.ID()]))
+				for {
+					d := done.Read(p)
+					if done.CompareAndSwap(p, d, d+1) {
+						break
+					}
+				}
+				return
+			}
+			// The reader spins until all writers signalled completion,
+			// then reads: it must see the maximum.
+			for done.Read(p) != uint64(k) {
+			}
+			got = r.ReadMax(p)
+		})
+		return got == max
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestConcurrentMonotoneConsistency checks, under several adversaries, the
+// two safety properties Lemma 4 relies on: a read returns at least the max
+// of all writes completed before it started, and never exceeds the max of
+// all writes started before it returned.
+func TestConcurrentMonotoneConsistency(t *testing.T) {
+	advs := map[string]func(seed uint64) sim.Adversary{
+		"roundrobin": func(uint64) sim.Adversary { return sim.NewRoundRobin() },
+		"random":     func(s uint64) sim.Adversary { return sim.NewRandom(s) },
+		"laggard":    func(uint64) sim.Adversary { return sim.NewLaggard(0) },
+	}
+	for name, mk := range advs {
+		for seed := uint64(0); seed < 20; seed++ {
+			rt := sim.New(seed, mk(seed))
+			r := NewUnbounded(rt)
+			const k = 4
+			type rd struct {
+				start, end uint64
+				val        uint64
+			}
+			type wr struct {
+				start, end uint64
+				val        uint64
+			}
+			var reads []rd
+			var writes []wr
+			rt.Run(k, func(p shmem.Proc) {
+				for i := 0; i < 6; i++ {
+					v := uint64(p.ID()*10 + i)
+					s := p.Now()
+					r.WriteMax(p, v)
+					writes = append(writes, wr{s, p.Now(), v}) // serialized by sim
+					s = p.Now()
+					got := r.ReadMax(p)
+					reads = append(reads, rd{s, p.Now(), got})
+				}
+			})
+			for _, rdv := range reads {
+				var mustSee, maySee uint64
+				for _, w := range writes {
+					if w.end <= rdv.start && w.val > mustSee {
+						mustSee = w.val
+					}
+					if w.start <= rdv.end && w.val > maySee {
+						maySee = w.val
+					}
+				}
+				if rdv.val < mustSee {
+					t.Fatalf("adv=%s seed=%d: read %d missed completed write %d", name, seed, rdv.val, mustSee)
+				}
+				if rdv.val > maySee {
+					t.Fatalf("adv=%s seed=%d: read %d exceeds any started write (%d)", name, seed, rdv.val, maySee)
+				}
+			}
+		}
+	}
+}

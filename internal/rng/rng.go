@@ -1,0 +1,96 @@
+// Package rng provides a small, fast, deterministic pseudo-random number
+// generator used by all randomized algorithms in this repository.
+//
+// Determinism matters here: the paper's model is an asynchronous system with
+// a strong adaptive adversary, and our simulator (internal/sim) must be able
+// to replay an execution exactly from a seed. math/rand would work, but a
+// hand-rolled SplitMix64 keeps the state a single word, allocates nothing,
+// and makes per-process sub-streams trivial to derive.
+package rng
+
+const goldenGamma = 0x9e3779b97f4a7c15
+
+// mix64 is the SplitMix64 output finalizer (Stafford mix13): a strong
+// 64-bit permutation.
+func mix64(z uint64) uint64 {
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// SplitMix64 is a 64-bit state PRNG with good statistical properties and a
+// period of 2^64.
+//
+// Each instance carries its own odd increment (gamma), as in the original
+// SplitMix design. This matters: two generators sharing one gamma walk the
+// same additive orbit, so their outputs are time-shifted copies of each
+// other — in an earlier version of this package that lockstep made
+// concurrently descending processes flip identical coins forever and
+// livelock the splitter tree. Distinct gammas put streams on distinct
+// orbits; Derive guarantees them.
+type SplitMix64 struct {
+	state uint64
+	gamma uint64
+}
+
+// New returns a generator seeded with seed, on the default orbit.
+func New(seed uint64) *SplitMix64 {
+	return &SplitMix64{state: mix64(seed), gamma: goldenGamma}
+}
+
+// Derive returns a generator whose stream is a deterministic function of
+// (seed, stream), with a per-stream gamma so that no two derived streams
+// are shifted copies of one another. It gives each simulated process an
+// independent coin-flip stream.
+func Derive(seed, stream uint64) *SplitMix64 {
+	h := mix64(seed + mix64(stream*goldenGamma+0x8c2f9d70e5a1b3f7))
+	return &SplitMix64{
+		state: mix64(h),
+		gamma: mix64(h+goldenGamma) | 1, // gammas must be odd for full period
+	}
+}
+
+// Next returns the next 64-bit output.
+func (s *SplitMix64) Next() uint64 {
+	s.state += s.gamma
+	return mix64(s.state)
+}
+
+// Uint64n returns a uniform value in [0, n). n must be positive.
+func (s *SplitMix64) Uint64n(n uint64) uint64 {
+	if n == 0 {
+		panic("rng: Uint64n called with n == 0")
+	}
+	// Avoid modulo bias by rejection sampling over the largest multiple of n.
+	max := ^uint64(0) - ^uint64(0)%n
+	for {
+		v := s.Next()
+		if v < max {
+			return v % n
+		}
+	}
+}
+
+// Intn returns a uniform int in [0, n). n must be positive.
+func (s *SplitMix64) Intn(n int) int {
+	if n <= 0 {
+		panic("rng: Intn called with n <= 0")
+	}
+	return int(s.Uint64n(uint64(n)))
+}
+
+// Bool returns a fair coin flip.
+func (s *SplitMix64) Bool() bool {
+	return s.Next()&1 == 1
+}
+
+// Perm returns a uniform random permutation of [0, n).
+func (s *SplitMix64) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		j := s.Intn(i + 1)
+		p[i] = p[j]
+		p[j] = i
+	}
+	return p
+}

@@ -1,0 +1,130 @@
+package rng
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterminism(t *testing.T) {
+	a, b := New(42), New(42)
+	for i := 0; i < 1000; i++ {
+		if a.Next() != b.Next() {
+			t.Fatalf("streams with equal seeds diverged at %d", i)
+		}
+	}
+}
+
+// TestDeriveStreamsNotShiftedCopies is the regression test for the splitter
+// livelock: with a shared gamma, derived streams are time-shifted copies of
+// one another, so concurrently descending processes eventually flip
+// identical coin sequences forever. Distinct gammas must prevent any small
+// shift from aligning two streams.
+func TestDeriveStreamsNotShiftedCopies(t *testing.T) {
+	const draws = 600
+	const maxShift = 16
+	streams := make([][]uint64, 8)
+	for i := range streams {
+		g := Derive(4, uint64(i))
+		s := make([]uint64, draws)
+		for d := range s {
+			s[d] = g.Next()
+		}
+		streams[i] = s
+	}
+	for i := range streams {
+		for j := i + 1; j < len(streams); j++ {
+			for shift := 0; shift <= maxShift; shift++ {
+				matches := 0
+				for d := 0; d+shift < draws; d++ {
+					if streams[i][d+shift] == streams[j][d] || streams[i][d] == streams[j][d+shift] {
+						matches++
+					}
+				}
+				if matches > 1 {
+					t.Fatalf("streams %d and %d agree at %d positions under shift %d: shifted copies", i, j, matches, shift)
+				}
+			}
+		}
+	}
+}
+
+func TestDeriveStreamsDiffer(t *testing.T) {
+	a, b := Derive(42, 0), Derive(42, 1)
+	same := 0
+	for i := 0; i < 1000; i++ {
+		if a.Next() == b.Next() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("derived streams collided %d times in 1000 draws", same)
+	}
+}
+
+func TestUint64nRange(t *testing.T) {
+	prop := func(seed uint64, nRaw uint32) bool {
+		n := uint64(nRaw)%1000 + 1
+		g := New(seed)
+		for i := 0; i < 50; i++ {
+			if g.Uint64n(n) >= n {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUint64nRoughlyUniform(t *testing.T) {
+	g := New(7)
+	const n, draws = 10, 100000
+	var counts [n]int
+	for i := 0; i < draws; i++ {
+		counts[g.Uint64n(n)]++
+	}
+	want := draws / n
+	for v, c := range counts {
+		if c < want*9/10 || c > want*11/10 {
+			t.Errorf("value %d drawn %d times, want about %d", v, c, want)
+		}
+	}
+}
+
+func TestUint64nPanicsOnZero(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	New(1).Uint64n(0)
+}
+
+func TestPerm(t *testing.T) {
+	g := New(3)
+	for n := 0; n <= 20; n++ {
+		p := g.Perm(n)
+		seen := make([]bool, n)
+		for _, v := range p {
+			if v < 0 || v >= n || seen[v] {
+				t.Fatalf("Perm(%d) = %v is not a permutation", n, p)
+			}
+			seen[v] = true
+		}
+	}
+}
+
+func TestBoolIsFair(t *testing.T) {
+	g := New(11)
+	heads := 0
+	const draws = 100000
+	for i := 0; i < draws; i++ {
+		if g.Bool() {
+			heads++
+		}
+	}
+	if heads < draws*45/100 || heads > draws*55/100 {
+		t.Errorf("heads = %d of %d; coin badly biased", heads, draws)
+	}
+}

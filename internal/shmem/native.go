@@ -1,0 +1,115 @@
+package shmem
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/rng"
+)
+
+// Native is the concurrent runtime: processes are plain goroutines and
+// registers are sync/atomic words. It provides real parallelism for
+// wall-clock benchmarks; step counts are exact but interleavings are up to
+// the Go scheduler, so adversarial schedules and deterministic replay come
+// from internal/sim instead.
+type Native struct {
+	seed  uint64
+	clock atomic.Uint64
+}
+
+var _ Runtime = (*Native)(nil)
+
+// NewNative returns a native runtime whose coin streams derive from seed.
+func NewNative(seed uint64) *Native {
+	return &Native{seed: seed}
+}
+
+// NewReg allocates an atomic register.
+func (n *Native) NewReg(init uint64) Reg {
+	r := &nativeReg{}
+	r.v.Store(init)
+	return r
+}
+
+// NewCASReg allocates an atomic register with compare-and-swap.
+func (n *Native) NewCASReg(init uint64) CASReg {
+	r := &nativeReg{}
+	r.v.Store(init)
+	return r
+}
+
+// Run executes body on k goroutines and blocks until all return.
+func (n *Native) Run(k int, body func(p Proc)) *Stats {
+	procs := make([]*nativeProc, k)
+	var wg sync.WaitGroup
+	wg.Add(k)
+	for i := 0; i < k; i++ {
+		procs[i] = &nativeProc{
+			id:  i,
+			rng: rng.Derive(n.seed, uint64(i)),
+			rt:  n,
+		}
+		go func(p *nativeProc) {
+			defer wg.Done()
+			body(p)
+		}(procs[i])
+	}
+	wg.Wait()
+	st := &Stats{PerProc: make([]OpCounts, k)}
+	for i, p := range procs {
+		st.PerProc[i] = p.counts
+	}
+	return st
+}
+
+type nativeReg struct {
+	v atomic.Uint64
+}
+
+func (r *nativeReg) Read(p Proc) uint64 {
+	p.Step(OpRead)
+	return r.v.Load()
+}
+
+func (r *nativeReg) Write(p Proc, v uint64) {
+	p.Step(OpWrite)
+	r.v.Store(v)
+}
+
+func (r *nativeReg) CompareAndSwap(p Proc, old, new uint64) bool {
+	p.Step(OpCAS)
+	return r.v.CompareAndSwap(old, new)
+}
+
+type nativeProc struct {
+	id     int
+	rng    *rng.SplitMix64
+	rt     *Native
+	counts OpCounts
+}
+
+func (p *nativeProc) ID() int { return p.id }
+
+func (p *nativeProc) Coin(n uint64) uint64 {
+	p.counts.Coins++
+	return p.rng.Uint64n(n)
+}
+
+func (p *nativeProc) Step(op Op) {
+	p.counts.Ops[op]++
+	p.rt.clock.Add(1)
+}
+
+func (p *nativeProc) Note(ev Event) {
+	p.counts.Events[ev]++
+}
+
+func (p *nativeProc) Now() uint64 {
+	return p.rt.clock.Load()
+}
+
+// StepsTaken returns the process's own running step count (used by the
+// benchmark harness to attribute costs to individual operations).
+func (p *nativeProc) StepsTaken() uint64 {
+	return p.counts.Steps()
+}

@@ -1,0 +1,239 @@
+package sim
+
+import "repro/internal/rng"
+
+// RoundRobin schedules ready processes cyclically. It is the "fair"
+// reference schedule: every process advances at the same rate.
+type RoundRobin struct {
+	cursor int
+}
+
+// NewRoundRobin returns a fair cyclic adversary.
+func NewRoundRobin() *RoundRobin { return &RoundRobin{} }
+
+// Choose picks the next ready process at or after the cursor.
+func (a *RoundRobin) Choose(v *View) Decision {
+	k := len(v.Ready)
+	for i := 0; i < k; i++ {
+		p := (a.cursor + i) % k
+		if v.Ready[p] {
+			a.cursor = p + 1
+			return Decision{Proc: p}
+		}
+	}
+	panic("sim: RoundRobin called with no ready process")
+}
+
+// Random schedules a uniformly random ready process. Deterministic given its
+// seed; models an arbitrary (non-adaptive) interleaving.
+type Random struct {
+	rng *rng.SplitMix64
+}
+
+// NewRandom returns a seeded uniform adversary.
+func NewRandom(seed uint64) *Random {
+	return &Random{rng: rng.New(seed)}
+}
+
+// Choose samples uniformly among ready processes.
+func (a *Random) Choose(v *View) Decision {
+	k := len(v.Ready)
+	if v.NumReady > k/4 {
+		// Rejection sampling is O(1) expected under high contention.
+		for {
+			p := a.rng.Intn(k)
+			if v.Ready[p] {
+				return Decision{Proc: p}
+			}
+		}
+	}
+	idx := a.rng.Intn(v.NumReady)
+	for p, ok := range v.Ready {
+		if !ok {
+			continue
+		}
+		if idx == 0 {
+			return Decision{Proc: p}
+		}
+		idx--
+	}
+	panic("sim: Random ready-set accounting mismatch")
+}
+
+// Sequential runs the lowest-numbered ready process until it finishes, then
+// the next. It produces fully serialized executions — the schedule under
+// which adaptive algorithms see contention arrive one process at a time.
+type Sequential struct{}
+
+// NewSequential returns the serializing adversary.
+func NewSequential() *Sequential { return &Sequential{} }
+
+// Choose picks the lowest-numbered ready process.
+func (Sequential) Choose(v *View) Decision {
+	for p, ok := range v.Ready {
+		if ok {
+			return Decision{Proc: p}
+		}
+	}
+	panic("sim: Sequential called with no ready process")
+}
+
+// AntiCoin is a strong-adversary heuristic: it preferentially schedules the
+// ready process whose most recent coin flip was 0, starving processes whose
+// coins currently favor them. It exercises the "adversary knows the coin
+// flips" clause of the model and is used in stress tests to hunt for
+// coin-race bugs in the test-and-set protocols.
+type AntiCoin struct {
+	rng *rng.SplitMix64
+}
+
+// NewAntiCoin returns a seeded coin-hostile adversary.
+func NewAntiCoin(seed uint64) *AntiCoin {
+	return &AntiCoin{rng: rng.New(seed)}
+}
+
+// Choose prefers ready processes whose last coin was 0; ties and the empty
+// preference set fall back to a seeded uniform choice.
+func (a *AntiCoin) Choose(v *View) Decision {
+	var zeros []int
+	for p, ok := range v.Ready {
+		if ok && v.LastCoin[p] == 0 {
+			zeros = append(zeros, p)
+		}
+	}
+	if len(zeros) > 0 {
+		return Decision{Proc: zeros[a.rng.Intn(len(zeros))]}
+	}
+	for {
+		p := a.rng.Intn(len(v.Ready))
+		if v.Ready[p] {
+			return Decision{Proc: p}
+		}
+	}
+}
+
+// Laggard keeps one victim process maximally behind: it schedules everyone
+// else first and lets the victim move only when it is the sole ready
+// process. Combined with crash injection it reproduces the worst cases of
+// the adaptive analyses (a process that arrives "late" into a mostly-full
+// namespace).
+type Laggard struct {
+	Victim int
+	inner  RoundRobin
+}
+
+// NewLaggard returns an adversary that starves victim.
+func NewLaggard(victim int) *Laggard { return &Laggard{Victim: victim} }
+
+// Choose schedules any non-victim ready process round-robin; the victim runs
+// only when alone.
+func (a *Laggard) Choose(v *View) Decision {
+	if v.NumReady == 1 && v.Ready[a.Victim] {
+		return Decision{Proc: a.Victim}
+	}
+	k := len(v.Ready)
+	for i := 0; i < k; i++ {
+		p := (a.inner.cursor + i) % k
+		if v.Ready[p] && p != a.Victim {
+			a.inner.cursor = p + 1
+			return Decision{Proc: p}
+		}
+	}
+	return Decision{Proc: a.Victim}
+}
+
+// Replay drives the schedule from an explicit list of process indices: at
+// each step it schedules Script[i] if ready, otherwise the lowest-numbered
+// ready process; after the script is exhausted it falls back to round
+// robin. Enumerating scripts yields exhaustive bounded model checking of
+// small protocols (see the TwoProc and splitter test suites).
+type Replay struct {
+	Script []int
+	pos    int
+	rr     RoundRobin
+}
+
+// NewReplay returns a scripted adversary.
+func NewReplay(script []int) *Replay { return &Replay{Script: script} }
+
+// Choose follows the script, then falls back to round robin.
+func (a *Replay) Choose(v *View) Decision {
+	for a.pos < len(a.Script) {
+		p := a.Script[a.pos]
+		a.pos++
+		if p >= 0 && p < len(v.Ready) && v.Ready[p] {
+			return Decision{Proc: p}
+		}
+		// Scripted process not ready: substitute the lowest ready one so
+		// the script length still bounds the exploration depth.
+		for q, ok := range v.Ready {
+			if ok {
+				return Decision{Proc: q}
+			}
+		}
+	}
+	return a.rr.Choose(v)
+}
+
+// Oscillator alternates bursts: it runs one process for Burst consecutive
+// steps, then switches to the next ready process. Burstiness exposes
+// protocols that implicitly assume interleaved progress.
+type Oscillator struct {
+	Burst   int
+	current int
+	left    int
+}
+
+// NewOscillator returns a bursty adversary with the given burst length.
+func NewOscillator(burst int) *Oscillator {
+	if burst < 1 {
+		burst = 1
+	}
+	return &Oscillator{Burst: burst}
+}
+
+// Choose keeps scheduling the current process until its burst ends or it
+// stops being ready, then rotates.
+func (a *Oscillator) Choose(v *View) Decision {
+	if a.left > 0 && v.Ready[a.current] {
+		a.left--
+		return Decision{Proc: a.current}
+	}
+	k := len(v.Ready)
+	for i := 1; i <= k; i++ {
+		p := (a.current + i) % k
+		if v.Ready[p] {
+			a.current = p
+			a.left = a.Burst - 1
+			return Decision{Proc: p}
+		}
+	}
+	panic("sim: Oscillator called with no ready process")
+}
+
+// CrashPlan wraps an adversary and crashes selected processes the first time
+// they are scheduled at or after a given global clock value.
+type CrashPlan struct {
+	Inner Adversary
+	// At maps process id to the clock value at (or after) which its next
+	// scheduling becomes a crash.
+	At map[int]uint64
+
+	crashed map[int]bool
+}
+
+// NewCrashPlan wraps inner with scheduled crashes.
+func NewCrashPlan(inner Adversary, at map[int]uint64) *CrashPlan {
+	return &CrashPlan{Inner: inner, At: at, crashed: make(map[int]bool, len(at))}
+}
+
+// Choose delegates to the inner adversary and converts the chosen step into
+// a crash when the plan says so.
+func (a *CrashPlan) Choose(v *View) Decision {
+	d := a.Inner.Choose(v)
+	if t, ok := a.At[d.Proc]; ok && v.Clock >= t && !a.crashed[d.Proc] {
+		a.crashed[d.Proc] = true
+		d.Crash = true
+	}
+	return d
+}

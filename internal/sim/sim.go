@@ -1,0 +1,330 @@
+// Package sim is a deterministic simulator for asynchronous shared memory
+// under a strong adaptive adversary, the execution model of Section 2 of the
+// paper.
+//
+// Each simulated process runs in its own goroutine, but the goroutines
+// advance in lock-step: before every shared-memory operation a process
+// yields to the scheduler, and a pluggable Adversary chooses which process
+// performs the next step. This gives
+//
+//   - exactly the sequentially-consistent interleavings of the asynchronous
+//     shared-memory model (one atomic register operation at a time),
+//   - exact per-process step counts (Go's scheduler never obscures them),
+//   - a strong adversary: the Adversary observes every process's pending
+//     operation and latest coin flips before choosing, and may crash
+//     processes at any step boundary,
+//   - deterministic replay: a (seed, adversary) pair fully determines the
+//     execution.
+//
+// All inter-process data flows through the yield/grant channel pair, so the
+// scheduler serializes every access to simulated registers; plain fields are
+// safe under the Go memory model.
+package sim
+
+import (
+	"fmt"
+
+	"repro/internal/rng"
+	"repro/internal/shmem"
+)
+
+// View is what the strong adversary sees when choosing the next step: which
+// processes are ready, what operation each is about to perform, and the most
+// recent coin flip of each (the defining power of a strong adversary).
+type View struct {
+	// Ready[i] reports whether process i is stopped at a step boundary and
+	// can be scheduled. At least one entry is true when Choose is called.
+	Ready []bool
+	// NumReady is the number of true entries in Ready.
+	NumReady int
+	// Pending[i] is the operation process i will perform when scheduled.
+	Pending []shmem.Op
+	// LastCoin[i] is the most recent value returned by process i's Coin.
+	LastCoin []uint64
+	// Steps[i] is the number of shared-memory steps process i has taken.
+	Steps []uint64
+	// Clock is the global step index.
+	Clock uint64
+}
+
+// Decision is the adversary's scheduling choice.
+type Decision struct {
+	// Proc is the process to schedule; View.Ready[Proc] must be true.
+	Proc int
+	// Crash, if set, crashes the process instead of letting it take the
+	// step. A crashed process never takes another step.
+	Crash bool
+}
+
+// Adversary chooses the schedule (and failures) of an execution.
+// Implementations must be deterministic to make runs replayable.
+type Adversary interface {
+	Choose(v *View) Decision
+}
+
+// TraceEvent describes one scheduling decision, delivered to a WithTrace
+// observer before the chosen process takes its step.
+type TraceEvent struct {
+	// Clock is the global step index at decision time.
+	Clock uint64
+	// Proc is the scheduled process.
+	Proc int
+	// Op is the operation the process is about to perform.
+	Op shmem.Op
+	// Crash reports that the decision crashed the process instead.
+	Crash bool
+}
+
+// Runtime is a single-use simulator instance implementing shmem.Runtime.
+type Runtime struct {
+	seed    uint64
+	adv     Adversary
+	stepCap uint64
+	trace   func(TraceEvent)
+
+	clock    uint64
+	events   chan event
+	procs    []*proc
+	view     View
+	panicVal any
+	used     bool
+}
+
+var _ shmem.Runtime = (*Runtime)(nil)
+
+// Option configures a Runtime.
+type Option func(*Runtime)
+
+// WithStepCap aborts the run (marking Stats.StepCapHit) once the global step
+// count exceeds cap. It guards benchmarks against probability-zero livelocks
+// and against adversaries that starve termination.
+func WithStepCap(cap uint64) Option {
+	return func(r *Runtime) { r.stepCap = cap }
+}
+
+// WithTrace registers an observer invoked synchronously on every scheduling
+// decision — the execution transcript (cmd/renametrace prints it).
+func WithTrace(fn func(TraceEvent)) Option {
+	return func(r *Runtime) { r.trace = fn }
+}
+
+// New returns a simulator with the given coin seed and adversary.
+func New(seed uint64, adv Adversary, opts ...Option) *Runtime {
+	r := &Runtime{
+		seed:    seed,
+		adv:     adv,
+		stepCap: 1 << 40,
+	}
+	for _, o := range opts {
+		o(r)
+	}
+	return r
+}
+
+// NewReg allocates a simulated register.
+func (r *Runtime) NewReg(init uint64) shmem.Reg { return &reg{rt: r, v: init} }
+
+// NewCASReg allocates a simulated register with unit-cost CAS.
+func (r *Runtime) NewCASReg(init uint64) shmem.CASReg { return &reg{rt: r, v: init} }
+
+type evKind uint8
+
+const (
+	evYield evKind = iota
+	evDone
+	evCrashed
+)
+
+type event struct {
+	proc int
+	kind evKind
+}
+
+type crashSentinel struct{}
+
+// Run executes body on k simulated processes. It may be called once per
+// Runtime. It panics with the original value if a process panics.
+func (r *Runtime) Run(k int, body func(p shmem.Proc)) *shmem.Stats {
+	if r.used {
+		panic("sim: Runtime.Run called twice; allocate a fresh Runtime per run")
+	}
+	r.used = true
+	r.events = make(chan event, k)
+	r.procs = make([]*proc, k)
+	r.view = View{
+		Ready:    make([]bool, k),
+		Pending:  make([]shmem.Op, k),
+		LastCoin: make([]uint64, k),
+		Steps:    make([]uint64, k),
+	}
+
+	for i := 0; i < k; i++ {
+		r.procs[i] = &proc{
+			id:     i,
+			rt:     r,
+			rng:    rng.Derive(r.seed, uint64(i)),
+			resume: make(chan bool),
+		}
+	}
+	for i := 0; i < k; i++ {
+		go r.procs[i].run(body)
+	}
+
+	st := &shmem.Stats{
+		PerProc: make([]shmem.OpCounts, k),
+		Crashed: make([]bool, k),
+	}
+	running := k
+	done := 0
+	aborting := false
+	for done < k {
+		// Wait until every live process is parked at a step boundary (or
+		// finished); only then is the ready set well defined.
+		for running > 0 {
+			e := <-r.events
+			switch e.kind {
+			case evYield:
+				r.view.Ready[e.proc] = true
+				r.view.NumReady++
+			case evDone:
+				done++
+			case evCrashed:
+				done++
+				st.Crashed[e.proc] = true
+			}
+			running--
+		}
+		if r.view.NumReady == 0 {
+			break // every process finished
+		}
+		if r.clock >= r.stepCap {
+			aborting = true
+		}
+		var d Decision
+		if aborting {
+			d = Decision{Proc: firstReady(r.view.Ready), Crash: true}
+		} else {
+			r.view.Clock = r.clock
+			d = r.adv.Choose(&r.view)
+			if d.Proc < 0 || d.Proc >= k || !r.view.Ready[d.Proc] {
+				panic(fmt.Sprintf("sim: adversary chose non-ready process %d", d.Proc))
+			}
+		}
+		if r.trace != nil {
+			r.trace(TraceEvent{
+				Clock: r.clock,
+				Proc:  d.Proc,
+				Op:    r.view.Pending[d.Proc],
+				Crash: d.Crash,
+			})
+		}
+		r.view.Ready[d.Proc] = false
+		r.view.NumReady--
+		running++
+		r.procs[d.Proc].resume <- d.Crash
+	}
+	st.StepCapHit = aborting
+	for i, p := range r.procs {
+		st.PerProc[i] = p.counts
+	}
+	if r.panicVal != nil {
+		panic(r.panicVal)
+	}
+	return st
+}
+
+func firstReady(ready []bool) int {
+	for i, ok := range ready {
+		if ok {
+			return i
+		}
+	}
+	return -1
+}
+
+// proc implements shmem.Proc for the simulator.
+type proc struct {
+	id      int
+	rt      *Runtime
+	rng     *rng.SplitMix64
+	resume  chan bool
+	counts  shmem.OpCounts
+	crashed bool
+}
+
+func (p *proc) run(body func(shmem.Proc)) {
+	defer func() {
+		if v := recover(); v != nil {
+			if _, ok := v.(crashSentinel); ok {
+				p.rt.events <- event{p.id, evCrashed}
+				return
+			}
+			if p.rt.panicVal == nil {
+				p.rt.panicVal = v
+			}
+			p.rt.events <- event{p.id, evCrashed}
+			return
+		}
+		p.rt.events <- event{p.id, evDone}
+	}()
+	body(p)
+}
+
+func (p *proc) ID() int { return p.id }
+
+func (p *proc) Coin(n uint64) uint64 {
+	p.counts.Coins++
+	c := p.rng.Uint64n(n)
+	// Published to the adversary at the next yield (strong adversary sees
+	// coins before scheduling the step that uses them).
+	p.rt.view.LastCoin[p.id] = c
+	return c
+}
+
+func (p *proc) Step(op shmem.Op) {
+	p.rt.view.Pending[p.id] = op
+	p.rt.events <- event{p.id, evYield}
+	if crash := <-p.resume; crash {
+		panic(crashSentinel{})
+	}
+	p.counts.Ops[op]++
+	p.rt.view.Steps[p.id]++
+	p.rt.clock++
+}
+
+func (p *proc) Note(ev shmem.Event) {
+	p.counts.Events[ev]++
+}
+
+func (p *proc) Now() uint64 { return p.rt.clock }
+
+// StepsTaken returns the process's own running step count (used by the
+// benchmark harness to attribute costs to individual operations).
+func (p *proc) StepsTaken() uint64 { return p.counts.Steps() }
+
+// reg is a simulated atomic register. The scheduler serializes all accesses
+// (the owning process performs the memory access inside its granted slot),
+// so plain fields suffice.
+type reg struct {
+	rt *Runtime
+	v  uint64
+}
+
+func (r *reg) Read(p shmem.Proc) uint64 {
+	p.Step(shmem.OpRead)
+	return r.v
+}
+
+func (r *reg) Write(p shmem.Proc, v uint64) {
+	p.Step(shmem.OpWrite)
+	r.v = v
+}
+
+func (r *reg) CompareAndSwap(p shmem.Proc, old, new uint64) bool {
+	p.Step(shmem.OpCAS)
+	if r.v == old {
+		r.v = new
+		return true
+	}
+	return false
+}

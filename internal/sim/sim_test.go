@@ -1,0 +1,334 @@
+package sim
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/shmem"
+)
+
+// allAdversaries returns one instance of every adversary, freshly seeded.
+func allAdversaries(seed uint64) map[string]Adversary {
+	return map[string]Adversary{
+		"roundrobin": NewRoundRobin(),
+		"random":     NewRandom(seed),
+		"sequential": NewSequential(),
+		"anticoin":   NewAntiCoin(seed),
+		"laggard":    NewLaggard(0),
+	}
+}
+
+// TestAtomicIncrements drives k processes doing CAS-loop increments and
+// checks the final value under every adversary: the simulated registers
+// must be atomic and no step may be lost.
+func TestAtomicIncrements(t *testing.T) {
+	const k, each = 8, 50
+	for name, adv := range allAdversaries(99) {
+		t.Run(name, func(t *testing.T) {
+			rt := New(1, adv)
+			ctr := rt.NewCASReg(0)
+			st := rt.Run(k, func(p shmem.Proc) {
+				for i := 0; i < each; i++ {
+					for {
+						v := ctr.Read(p)
+						if ctr.CompareAndSwap(p, v, v+1) {
+							break
+						}
+					}
+				}
+			})
+			// Every process performs at least a read and a CAS per
+			// increment; a lost wakeup or dropped step would show here.
+			for i := range st.PerProc {
+				if st.PerProc[i].Steps() < 2*each {
+					t.Errorf("proc %d took %d steps, want >= %d", i, st.PerProc[i].Steps(), 2*each)
+				}
+			}
+		})
+	}
+}
+
+// TestRegisterValueVisible checks writes are visible across processes in a
+// serialized execution.
+func TestRegisterValueVisible(t *testing.T) {
+	rt := New(1, NewSequential())
+	r := rt.NewReg(0)
+	got := make([]uint64, 2)
+	rt.Run(2, func(p shmem.Proc) {
+		if p.ID() == 0 {
+			r.Write(p, 7)
+		} else {
+			got[1] = r.Read(p)
+		}
+	})
+	// Sequential runs process 0 to completion first.
+	if got[1] != 7 {
+		t.Fatalf("process 1 read %d, want 7", got[1])
+	}
+}
+
+// TestCASFinalValue verifies the CAS-increment count end to end by reading
+// the register inside the run after a barrier-free quiescence: the last
+// process to finish reads the final value.
+func TestCASFinalValue(t *testing.T) {
+	const k, each = 6, 40
+	for name, adv := range allAdversaries(5) {
+		t.Run(name, func(t *testing.T) {
+			rt := New(3, adv)
+			ctr := rt.NewCASReg(0)
+			doneCount := rt.NewCASReg(0)
+			var finalSeen uint64
+			rt.Run(k, func(p shmem.Proc) {
+				for i := 0; i < each; i++ {
+					for {
+						v := ctr.Read(p)
+						if ctr.CompareAndSwap(p, v, v+1) {
+							break
+						}
+					}
+				}
+				// Count completions; the k-th reads the final value.
+				for {
+					d := doneCount.Read(p)
+					if doneCount.CompareAndSwap(p, d, d+1) {
+						if d+1 == k {
+							finalSeen = ctr.Read(p)
+						}
+						break
+					}
+				}
+			})
+			if finalSeen != k*each {
+				t.Fatalf("final counter = %d, want %d", finalSeen, k*each)
+			}
+		})
+	}
+}
+
+func TestDeterministicReplay(t *testing.T) {
+	run := func(seed uint64) string {
+		rt := New(seed, NewRandom(seed+1))
+		ctr := rt.NewCASReg(0)
+		st := rt.Run(5, func(p shmem.Proc) {
+			for i := 0; i < 20; i++ {
+				if p.Coin(2) == 1 {
+					ctr.CompareAndSwap(p, ctr.Read(p), uint64(p.ID()))
+				} else {
+					ctr.Read(p)
+				}
+			}
+		})
+		return fmt.Sprintf("%+v", st.PerProc)
+	}
+	if run(42) != run(42) {
+		t.Error("identical seeds produced different executions")
+	}
+	if run(42) == run(43) {
+		t.Error("different seeds produced identical executions (suspicious)")
+	}
+}
+
+func TestCrashPlan(t *testing.T) {
+	adv := NewCrashPlan(NewRoundRobin(), map[int]uint64{1: 10})
+	rt := New(1, adv)
+	r := rt.NewReg(0)
+	st := rt.Run(3, func(p shmem.Proc) {
+		for i := 0; i < 100; i++ {
+			r.Read(p)
+		}
+	})
+	if !st.Crashed[1] {
+		t.Fatal("process 1 should have crashed")
+	}
+	if st.Crashed[0] || st.Crashed[2] {
+		t.Fatal("only process 1 should have crashed")
+	}
+	if st.PerProc[1].Steps() >= 100 {
+		t.Fatalf("crashed process took %d steps", st.PerProc[1].Steps())
+	}
+	if st.PerProc[0].Steps() != 100 || st.PerProc[2].Steps() != 100 {
+		t.Fatal("surviving processes should complete all 100 steps")
+	}
+}
+
+func TestStepCap(t *testing.T) {
+	rt := New(1, NewRoundRobin(), WithStepCap(500))
+	r := rt.NewReg(0)
+	st := rt.Run(2, func(p shmem.Proc) {
+		for { // livelock: spin forever
+			r.Read(p)
+		}
+	})
+	if !st.StepCapHit {
+		t.Fatal("expected StepCapHit")
+	}
+	if st.TotalSteps() > 600 {
+		t.Fatalf("run continued past cap: %d steps", st.TotalSteps())
+	}
+}
+
+func TestNowMonotone(t *testing.T) {
+	rt := New(1, NewRandom(3))
+	r := rt.NewReg(0)
+	bad := false
+	rt.Run(4, func(p shmem.Proc) {
+		last := uint64(0)
+		for i := 0; i < 50; i++ {
+			r.Read(p)
+			now := p.Now()
+			if now < last {
+				bad = true
+			}
+			last = now
+		}
+	})
+	if bad {
+		t.Fatal("Now went backwards")
+	}
+}
+
+func TestRunZeroProcs(t *testing.T) {
+	rt := New(1, NewRoundRobin())
+	st := rt.Run(0, func(p shmem.Proc) { t.Error("body ran with k=0") })
+	if len(st.PerProc) != 0 || st.TotalSteps() != 0 {
+		t.Fatalf("empty run produced stats %+v", st)
+	}
+}
+
+type badAdversary struct{}
+
+func (badAdversary) Choose(v *View) Decision { return Decision{Proc: -1} }
+
+func TestInvalidAdversaryChoicePanics(t *testing.T) {
+	rt := New(1, badAdversary{})
+	r := rt.NewReg(0)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for non-ready choice")
+		}
+	}()
+	rt.Run(1, func(p shmem.Proc) { r.Read(p) })
+}
+
+func TestRunTwicePanics(t *testing.T) {
+	rt := New(1, NewRoundRobin())
+	rt.Run(1, func(p shmem.Proc) {})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on second Run")
+		}
+	}()
+	rt.Run(1, func(p shmem.Proc) {})
+}
+
+func TestBodyPanicPropagates(t *testing.T) {
+	rt := New(1, NewRoundRobin())
+	r := rt.NewReg(0)
+	defer func() {
+		if v := recover(); v != "boom" {
+			t.Fatalf("recovered %v, want boom", v)
+		}
+	}()
+	rt.Run(2, func(p shmem.Proc) {
+		r.Read(p)
+		if p.ID() == 1 {
+			panic("boom")
+		}
+	})
+}
+
+func TestTraceObserver(t *testing.T) {
+	var events []TraceEvent
+	rt := New(1, NewRoundRobin(), WithTrace(func(e TraceEvent) {
+		events = append(events, e)
+	}))
+	r := rt.NewReg(0)
+	rt.Run(2, func(p shmem.Proc) {
+		r.Write(p, uint64(p.ID()))
+		r.Read(p)
+	})
+	if len(events) != 4 {
+		t.Fatalf("traced %d decisions, want 4", len(events))
+	}
+	// Round robin alternates; first two decisions are the writes.
+	if events[0].Op != shmem.OpWrite || events[1].Op != shmem.OpWrite {
+		t.Errorf("first decisions should be writes: %+v", events[:2])
+	}
+	for i := 1; i < len(events); i++ {
+		if events[i].Clock < events[i-1].Clock {
+			t.Error("trace clock not monotone")
+		}
+	}
+}
+
+func TestTraceRecordsCrash(t *testing.T) {
+	var crashes int
+	adv := NewCrashPlan(NewRoundRobin(), map[int]uint64{0: 0})
+	rt := New(1, adv, WithTrace(func(e TraceEvent) {
+		if e.Crash {
+			crashes++
+		}
+	}))
+	r := rt.NewReg(0)
+	st := rt.Run(2, func(p shmem.Proc) { r.Read(p) })
+	if !st.Crashed[0] || crashes != 1 {
+		t.Fatalf("crashed=%v traceCrashes=%d", st.Crashed, crashes)
+	}
+}
+
+func TestOscillatorRunsAll(t *testing.T) {
+	rt := New(1, NewOscillator(5))
+	r := rt.NewReg(0)
+	st := rt.Run(4, func(p shmem.Proc) {
+		for i := 0; i < 20; i++ {
+			r.Read(p)
+		}
+	})
+	for i := range st.PerProc {
+		if st.PerProc[i].Steps() != 20 {
+			t.Fatalf("proc %d took %d steps", i, st.PerProc[i].Steps())
+		}
+	}
+}
+
+func TestReplayFollowsScript(t *testing.T) {
+	var order []int
+	rt := New(1, NewReplay([]int{1, 1, 0, 1}), WithTrace(func(e TraceEvent) {
+		order = append(order, e.Proc)
+	}))
+	r := rt.NewReg(0)
+	rt.Run(2, func(p shmem.Proc) {
+		r.Read(p)
+		r.Read(p)
+	})
+	// Proc 1 finishes after its two reads, so the fourth scripted "1"
+	// substitutes the lowest ready process (0).
+	want := []int{1, 1, 0, 0}
+	for i, w := range want {
+		if order[i] != w {
+			t.Fatalf("schedule %v, want prefix %v", order, want)
+		}
+	}
+}
+
+// TestLaggardStarves checks the Laggard adversary: the victim's steps all
+// happen after every other process finished.
+func TestLaggardStarves(t *testing.T) {
+	rt := New(1, NewLaggard(0))
+	r := rt.NewReg(0)
+	var victimFirst, othersLast uint64
+	rt.Run(3, func(p shmem.Proc) {
+		for i := 0; i < 10; i++ {
+			r.Read(p)
+			if p.ID() == 0 && victimFirst == 0 {
+				victimFirst = p.Now()
+			}
+			if p.ID() != 0 {
+				othersLast = p.Now()
+			}
+		}
+	})
+	if victimFirst < othersLast {
+		t.Fatalf("victim ran at %d before others finished at %d", victimFirst, othersLast)
+	}
+}

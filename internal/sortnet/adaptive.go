@@ -1,0 +1,220 @@
+package sortnet
+
+import "fmt"
+
+// Part labels the region of the adaptive construction a comparator lives in.
+type Part uint8
+
+// Comparator regions: the leading base network A, the trailing base network
+// C (Fig. 2 of the paper), or the innermost width-2 network S_0.
+const (
+	PartA Part = iota
+	PartC
+	PartLeaf
+)
+
+// Comp identifies a single comparator of the adaptive network. Comparators
+// are shared objects in a renaming network, so the identity must be stable
+// across all processes' walks; (Level, Part, Stage, Low) is canonical.
+type Comp struct {
+	Level int
+	Part  Part
+	Stage int
+	Low   uint64 // global index of the comparator's upper (min) wire
+}
+
+// Base selects the sorting network used for the A and C layers of every
+// sandwich level.
+type Base uint8
+
+// Available bases. Both have depth exponent c = 2; AKS (c = 1) is
+// impractical, as the paper notes.
+const (
+	// BaseOEM is Batcher's odd-even mergesort (the default).
+	BaseOEM Base = iota
+	// BaseBalanced is the Dowd–Perl–Rudolph–Saks balanced network.
+	BaseBalanced
+)
+
+func (b Base) String() string {
+	switch b {
+	case BaseOEM:
+		return "oem"
+	case BaseBalanced:
+		return "balanced"
+	default:
+		return "base?"
+	}
+}
+
+func (b Base) make(n uint64) Walkable {
+	switch b {
+	case BaseOEM:
+		return NewOEM(n)
+	case BaseBalanced:
+		return NewBalanced(n)
+	default:
+		panic("sortnet: unknown base")
+	}
+}
+
+// aLevel is one stage of the recursive construction: S_i is S_{i-1}
+// sandwiched (per Lemma 2) between two base sorting networks.
+type aLevel struct {
+	width uint64   // w_i
+	ell   uint64   // ℓ_i = w_{i-1}/2
+	base  Walkable // A_i and C_i: base sorter of width w_i − ℓ_i
+}
+
+// Adaptive is the unbounded-width sorting network S_L of Section 6.1,
+// instantiated with Batcher odd-even mergesort as the base sorter (the
+// paper's "constructible" choice, exponent c = 2 in Theorem 2; AKS would
+// give c = 1 but is impractical, as the paper notes).
+//
+// Widths square at every level: w_0 = 2, w_{i+1} = w_i², so five levels
+// already span 2^32 wires. Values entering on wire n and leaving on wire m
+// traverse O(log² max(n,m)) comparators (Theorem 2) — the walk is lazy, so
+// no part of the network is ever materialized.
+type Adaptive struct {
+	levels []aLevel
+}
+
+// MaxAdaptiveWire is the largest entry wire supported (width 2^32 at level
+// five; squaring once more would overflow uint64).
+const MaxAdaptiveWire = uint64(1)<<32 - 1
+
+// NewAdaptive returns the construction truncated to the smallest level whose
+// width exceeds maxWire, with Batcher's network as base. Theorem 2
+// guarantees each S_i is itself a sorting network, so the truncation is
+// sound.
+func NewAdaptive(maxWire uint64) *Adaptive {
+	return NewAdaptiveWithBase(maxWire, BaseOEM)
+}
+
+// NewAdaptiveWithBase is NewAdaptive with an explicit base network choice
+// (the DESIGN.md ablation knob).
+func NewAdaptiveWithBase(maxWire uint64, base Base) *Adaptive {
+	if maxWire > MaxAdaptiveWire {
+		panic(fmt.Sprintf("sortnet: adaptive network supports wires < 2^32, got %d", maxWire))
+	}
+	ad := &Adaptive{levels: []aLevel{{width: 2}}}
+	for ad.Width() <= maxWire {
+		prev := ad.levels[len(ad.levels)-1].width
+		ell := prev / 2
+		width := prev * prev
+		ad.levels = append(ad.levels, aLevel{
+			width: width,
+			ell:   ell,
+			base:  base.make(width - ell),
+		})
+	}
+	return ad
+}
+
+// Width returns the width w_L of the outermost level.
+func (ad *Adaptive) Width() uint64 { return ad.levels[len(ad.levels)-1].width }
+
+// Levels returns the number of sandwich levels (excluding S_0).
+func (ad *Adaptive) Levels() int { return len(ad.levels) - 1 }
+
+// Depth returns the total comparator depth d_L of the outermost level:
+// d_0 = 1, d_i = d_{i-1} + 2·depth(base_i).
+func (ad *Adaptive) Depth() int {
+	d := 1
+	for _, l := range ad.levels[1:] {
+		d += 2 * l.base.NumStages()
+	}
+	return d
+}
+
+// DepthOfLevel returns d_i, the comparator depth of sub-network S_i. By
+// Lemma 3 a small value entering S_i never leaves it, so d_i bounds its
+// traversal (Theorem 2).
+func (ad *Adaptive) DepthOfLevel(i int) int {
+	d := 1
+	for _, l := range ad.levels[1 : i+1] {
+		d += 2 * l.base.NumStages()
+	}
+	return d
+}
+
+// LevelOfWire returns the smallest i such that wire < w_i (the innermost
+// sub-network the wire is an input of).
+func (ad *Adaptive) LevelOfWire(wire uint64) int {
+	for i, l := range ad.levels {
+		if wire < l.width {
+			return i
+		}
+	}
+	return len(ad.levels) - 1
+}
+
+// Walk routes a value entering on global wire in through the network.
+// decide is invoked for every comparator the value meets, with the global
+// up (min) and down (max) wires; it returns true to take the up wire.
+// Walk returns the output wire and the number of comparators met.
+func (ad *Adaptive) Walk(in uint64, decide func(c Comp, up, down uint64) bool) (out uint64, met int) {
+	if in >= ad.Width() {
+		panic(fmt.Sprintf("sortnet: entry wire %d out of range for width %d", in, ad.Width()))
+	}
+	out = ad.walkLevel(len(ad.levels)-1, in, decide, &met)
+	return out, met
+}
+
+func (ad *Adaptive) walkLevel(lvl int, w uint64, decide func(Comp, uint64, uint64) bool, met *int) uint64 {
+	if lvl == 0 {
+		if w <= 1 {
+			*met++
+			if decide(Comp{Level: 0, Part: PartLeaf, Stage: 0, Low: 0}, 0, 1) {
+				return 0
+			}
+			return 1
+		}
+		return w
+	}
+	l := ad.levels[lvl]
+	if w >= l.ell {
+		w = ad.walkBase(lvl, PartA, w, decide, met)
+	}
+	if w < ad.levels[lvl-1].width {
+		w = ad.walkLevel(lvl-1, w, decide, met)
+	}
+	if w >= l.ell {
+		w = ad.walkBase(lvl, PartC, w, decide, met)
+	}
+	return w
+}
+
+func (ad *Adaptive) walkBase(lvl int, part Part, w uint64, decide func(Comp, uint64, uint64) bool, met *int) uint64 {
+	l := ad.levels[lvl]
+	rel := w - l.ell
+	for s := 0; s < l.base.NumStages(); s++ {
+		a, b, ok := l.base.CompAt(s, rel)
+		if !ok {
+			continue
+		}
+		*met++
+		c := Comp{Level: lvl, Part: part, Stage: s, Low: a + l.ell}
+		if decide(c, a+l.ell, b+l.ell) {
+			rel = a
+		} else {
+			rel = b
+		}
+	}
+	return rel + l.ell
+}
+
+// Flatten materializes S_L explicitly (small widths only), by composing the
+// same base networks through the exhaustively-tested Sandwich. Flatten and
+// Walk visit comparators in the same order, which the tests rely on.
+func (ad *Adaptive) Flatten() *Network {
+	net := &Network{W: 2, Stages: [][]Comparator{{{A: 0, B: 1}}}}
+	for _, l := range ad.levels[1:] {
+		if l.width > 1<<20 {
+			panic("sortnet: Flatten width too large to materialize")
+		}
+		base := Materialize(l.base)
+		net = Sandwich(base, net, base, int(l.ell))
+	}
+	return net
+}

@@ -1,0 +1,61 @@
+package sortnet
+
+// Balanced is the balanced sorting network of Dowd, Perl, Rudolph and Saks
+// (STOC 1983 / JACM 1989), defined lazily like OEM. It consists of
+// ⌈lg n⌉ identical blocks; each block has ⌈lg n⌉ levels, and level ℓ
+// mirror-compares wires within each aligned segment of size n/2^ℓ:
+// (a+i, a+s−1−i) for segment base a, size s.
+//
+// All comparators are standard form (min to the lower wire), so it drops
+// into renaming networks unchanged. Depth is lg²n — same exponent c = 2 as
+// Batcher's network but a different constant and a perfectly regular
+// wiring; it serves as the ablation base for the adaptive construction.
+// Non-power-of-two widths use the padding argument (comparators touching
+// out-of-range wires are dropped).
+type Balanced struct {
+	n      uint64
+	m      int // levels per block = ⌈lg n⌉
+	padded uint64
+}
+
+var _ Walkable = (*Balanced)(nil)
+
+// NewBalanced returns the lazy balanced network on n ≥ 1 wires.
+func NewBalanced(n uint64) *Balanced {
+	if n == 0 {
+		panic("sortnet: Balanced width must be at least 1")
+	}
+	m := 0
+	padded := uint64(1)
+	for padded < n {
+		padded *= 2
+		m++
+	}
+	return &Balanced{n: n, m: m, padded: padded}
+}
+
+// Width returns the number of wires.
+func (b *Balanced) Width() uint64 { return b.n }
+
+// NumStages returns the depth: lg n blocks of lg n levels.
+func (b *Balanced) NumStages() int { return b.m * b.m }
+
+// CompAt computes the comparator touching wire w at stage s, if any.
+func (b *Balanced) CompAt(s int, w uint64) (lo, hi uint64, ok bool) {
+	level := s % b.m
+	size := b.padded >> uint(level) // segment size at this level
+	base := w &^ (size - 1)
+	partner := base + size - 1 - (w - base)
+	if partner >= b.n {
+		return 0, 0, false // dropped by padding
+	}
+	if partner < w {
+		return partner, w, true
+	}
+	return w, partner, true
+}
+
+// BalancedNet materializes the balanced network explicitly.
+func BalancedNet(n int) *Network {
+	return Materialize(NewBalanced(uint64(n)))
+}

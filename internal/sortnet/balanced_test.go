@@ -1,0 +1,99 @@
+package sortnet
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestBalancedSortsExhaustively(t *testing.T) {
+	for n := 1; n <= 18; n++ {
+		net := BalancedNet(n)
+		if err := net.Validate(); err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if bad := net.VerifyZeroOne(); bad != nil {
+			t.Fatalf("n=%d: fails on %v", n, bad)
+		}
+	}
+}
+
+func TestBalancedDepth(t *testing.T) {
+	// lg n blocks of lg n levels.
+	for g := 1; g <= 8; g++ {
+		n := uint64(1) << g
+		b := NewBalanced(n)
+		if b.NumStages() != g*g {
+			t.Errorf("width %d: depth %d, want %d", n, b.NumStages(), g*g)
+		}
+	}
+}
+
+func TestBalancedCompAtConsistency(t *testing.T) {
+	for _, n := range []uint64{2, 3, 5, 8, 13, 16, 100} {
+		b := NewBalanced(n)
+		for s := 0; s < b.NumStages(); s++ {
+			for w := uint64(0); w < n; w++ {
+				lo, hi, ok := b.CompAt(s, w)
+				if !ok {
+					continue
+				}
+				if w != lo && w != hi {
+					t.Fatalf("n=%d s=%d w=%d: comparator (%d,%d) misses wire", n, s, w, lo, hi)
+				}
+				if lo >= hi || hi >= n {
+					t.Fatalf("n=%d s=%d: bad comparator (%d,%d)", n, s, lo, hi)
+				}
+				lo2, hi2, ok2 := b.CompAt(s, lo+hi-w)
+				if !ok2 || lo2 != lo || hi2 != hi {
+					t.Fatalf("n=%d s=%d: endpoints disagree", n, s)
+				}
+			}
+		}
+		if err := Materialize(b).Validate(); err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+	}
+}
+
+func TestBalancedSortsRandomPermutations(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 100; trial++ {
+		n := r.Intn(100) + 1
+		net := BalancedNet(n)
+		if !net.Sorts(r.Perm(n)) {
+			t.Fatalf("n=%d: failed a permutation", n)
+		}
+	}
+}
+
+func TestAdaptiveWithBalancedBase(t *testing.T) {
+	// The sandwich construction is base-agnostic (Lemma 2 assumes only
+	// "sorting network"): with the balanced base it must still sort.
+	for _, maxWire := range []uint64{3, 15} {
+		ad := NewAdaptiveWithBase(maxWire, BaseBalanced)
+		net := ad.Flatten()
+		if err := net.Validate(); err != nil {
+			t.Fatalf("maxWire=%d: %v", maxWire, err)
+		}
+		if bad := net.VerifyZeroOne(); bad != nil {
+			t.Fatalf("maxWire=%d: fails on %v", maxWire, bad)
+		}
+	}
+	// Spot-check the traversal bound with the balanced base too.
+	ad := NewAdaptiveWithBase(1<<20, BaseBalanced)
+	alwaysUp := func(Comp, uint64, uint64) bool { return true }
+	if out, _ := ad.Walk(1000, alwaysUp); out != 0 {
+		t.Fatalf("global-min token left on wire %d", out)
+	}
+	_, metSmall := ad.Walk(10, alwaysUp)
+	_, metLarge := ad.Walk(1<<20, alwaysUp)
+	if metSmall >= metLarge {
+		t.Errorf("traversal not adaptive: %d (wire 10) vs %d (wire 2^20)", metSmall, metLarge)
+	}
+}
+
+func TestBaseString(t *testing.T) {
+	if BaseOEM.String() != "oem" || BaseBalanced.String() != "balanced" {
+		t.Fatal("base names changed")
+	}
+}

@@ -1,0 +1,62 @@
+package sortnet
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Draw renders a small network as the Knuth-style wire diagram used in the
+// paper's figures: one row per wire, one column group per stage, with
+// comparators as vertical connectors. Intended for widths up to a few
+// dozen wires (cmd/netcheck -draw).
+//
+//	0 ──●──────
+//	    │
+//	1 ──●───●──
+//	        │
+//	2 ──────●──
+func Draw(n *Network) string {
+	if n.W > 64 {
+		return fmt.Sprintf("(network too wide to draw: %d wires)", n.W)
+	}
+	var b strings.Builder
+	// Grid: rows = 2*W−1 (wire rows and gap rows), cols = 4 per stage.
+	rows := 2*n.W - 1
+	cols := 4 * len(n.Stages)
+	grid := make([][]rune, rows)
+	for r := range grid {
+		grid[r] = make([]rune, cols)
+		for c := range grid[r] {
+			if r%2 == 0 {
+				grid[r][c] = '─'
+			} else {
+				grid[r][c] = ' '
+			}
+		}
+	}
+	for s, stage := range n.Stages {
+		col := 4*s + 1
+		for _, cmp := range stage {
+			top, bot := 2*int(cmp.A), 2*int(cmp.B)
+			grid[top][col] = '●'
+			grid[bot][col] = '●'
+			for r := top + 1; r < bot; r++ {
+				if grid[r][col] == '─' {
+					grid[r][col] = '┼'
+				} else {
+					grid[r][col] = '│'
+				}
+			}
+		}
+	}
+	for r := 0; r < rows; r++ {
+		if r%2 == 0 {
+			fmt.Fprintf(&b, "%2d ", r/2)
+		} else {
+			b.WriteString("   ")
+		}
+		b.WriteString(string(grid[r]))
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

@@ -1,0 +1,65 @@
+package sortnet
+
+// Insertion returns the triangular insertion-sort network on n wires
+// (depth 2n−3 after parallel layering). It is the textbook baseline: tiny
+// description, linear depth — the shape a renaming network must beat.
+func Insertion(n int) *Network {
+	if n < 1 {
+		panic("sortnet: width must be at least 1")
+	}
+	var comps []Comparator
+	for i := 1; i < n; i++ {
+		for j := i; j >= 1; j-- {
+			comps = append(comps, Comparator{A: int32(j - 1), B: int32(j)})
+		}
+	}
+	return fromList(n, comps)
+}
+
+// OddEvenTransposition returns the brick-wall odd-even transposition
+// network on n wires: n stages of adjacent comparators. Depth n, the
+// classic systolic sorter.
+func OddEvenTransposition(n int) *Network {
+	if n < 1 {
+		panic("sortnet: width must be at least 1")
+	}
+	net := &Network{W: n}
+	for s := 0; s < n; s++ {
+		var stage []Comparator
+		for i := s % 2; i+1 < n; i += 2 {
+			stage = append(stage, Comparator{A: int32(i), B: int32(i + 1)})
+		}
+		if len(stage) > 0 {
+			net.Stages = append(net.Stages, stage)
+		}
+	}
+	return net
+}
+
+// Concat appends the stages of b after those of a. Both must have equal
+// width. The result computes a's function followed by b's.
+func Concat(a, b *Network) *Network {
+	if a.W != b.W {
+		panic("sortnet: Concat requires equal widths")
+	}
+	out := &Network{W: a.W}
+	out.Stages = append(out.Stages, a.Stages...)
+	out.Stages = append(out.Stages, b.Stages...)
+	return out
+}
+
+// Embed re-bases a network onto a wider wire set, shifting every comparator
+// up by offset. Used by the sandwich composition.
+func Embed(n *Network, width, offset int) *Network {
+	if offset < 0 || offset+n.W > width {
+		panic("sortnet: Embed out of range")
+	}
+	out := &Network{W: width, Stages: make([][]Comparator, len(n.Stages))}
+	for si, stage := range n.Stages {
+		out.Stages[si] = make([]Comparator, len(stage))
+		for ci, c := range stage {
+			out.Stages[si][ci] = Comparator{A: c.A + int32(offset), B: c.B + int32(offset)}
+		}
+	}
+	return out
+}

@@ -1,0 +1,181 @@
+// Package sortnet implements comparator networks: explicit sorting networks
+// (odd-even mergesort, odd-even transposition, insertion), the "sandwich"
+// composition of Lemma 2, and the recursive unbounded adaptive sorting
+// network of Section 6.1 of the paper.
+//
+// All networks are in standard form: a comparator (a, b) with a < b routes
+// the minimum to wire a ("up" in the paper's renaming networks — the wire a
+// test-and-set winner takes) and the maximum to wire b. Small networks are
+// verified exhaustively via the zero-one principle; the large lazily-walked
+// networks share the same generator code as the verified small ones.
+package sortnet
+
+import "fmt"
+
+// Comparator orders a pair of wires: min to A, max to B. A < B always.
+type Comparator struct {
+	A, B int32
+}
+
+// Network is an explicit comparator network organized into parallel stages:
+// within a stage, no two comparators share a wire.
+type Network struct {
+	// W is the number of wires.
+	W int
+	// Stages lists comparators in parallel layers.
+	Stages [][]Comparator
+}
+
+// Depth returns the number of parallel stages.
+func (n *Network) Depth() int { return len(n.Stages) }
+
+// Size returns the total number of comparators.
+func (n *Network) Size() int {
+	total := 0
+	for _, s := range n.Stages {
+		total += len(s)
+	}
+	return total
+}
+
+// Validate checks structural sanity: comparator bounds, A < B, and wire
+// disjointness within each stage.
+func (n *Network) Validate() error {
+	used := make([]int, n.W)
+	for si, stage := range n.Stages {
+		for _, c := range stage {
+			if c.A < 0 || int(c.B) >= n.W || c.A >= c.B {
+				return fmt.Errorf("sortnet: stage %d has invalid comparator (%d,%d) for width %d", si, c.A, c.B, n.W)
+			}
+			if used[c.A] == si+1 || used[c.B] == si+1 {
+				return fmt.Errorf("sortnet: stage %d reuses a wire in comparator (%d,%d)", si, c.A, c.B)
+			}
+			used[c.A], used[c.B] = si+1, si+1
+		}
+	}
+	return nil
+}
+
+// Apply runs the network over vals in place (len(vals) must equal W).
+func (n *Network) Apply(vals []int) {
+	if len(vals) != n.W {
+		panic(fmt.Sprintf("sortnet: Apply got %d values for width %d", len(vals), n.W))
+	}
+	for _, stage := range n.Stages {
+		for _, c := range stage {
+			if vals[c.A] > vals[c.B] {
+				vals[c.A], vals[c.B] = vals[c.B], vals[c.A]
+			}
+		}
+	}
+}
+
+// Sorts reports whether the network sorts the given input.
+func (n *Network) Sorts(vals []int) bool {
+	v := make([]int, len(vals))
+	copy(v, vals)
+	n.Apply(v)
+	for i := 1; i < len(v); i++ {
+		if v[i-1] > v[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// VerifyZeroOne exhaustively checks the zero-one principle: the network is a
+// sorting network iff it sorts all 2^W inputs of zeros and ones. It is
+// feasible for W up to roughly 24; larger widths should use SampleZeroOne.
+// It returns the first failing input, or nil if the network sorts.
+func (n *Network) VerifyZeroOne() []int {
+	if n.W > 30 {
+		panic("sortnet: VerifyZeroOne is exponential; width too large")
+	}
+	vals := make([]int, n.W)
+	for mask := uint64(0); mask < 1<<uint(n.W); mask++ {
+		for i := range vals {
+			vals[i] = int(mask >> uint(i) & 1)
+		}
+		if !n.Sorts(vals) {
+			bad := make([]int, n.W)
+			for i := range bad {
+				bad[i] = int(mask >> uint(i) & 1)
+			}
+			return bad
+		}
+	}
+	return nil
+}
+
+// SampleZeroOne checks trials random zero-one inputs using the given uniform
+// word source. It returns a failing input or nil.
+func (n *Network) SampleZeroOne(trials int, next func() uint64) []int {
+	vals := make([]int, n.W)
+	for t := 0; t < trials; t++ {
+		for i := range vals {
+			vals[i] = int(next() & 1)
+		}
+		if !n.Sorts(vals) {
+			out := make([]int, n.W)
+			copy(out, vals)
+			return out
+		}
+	}
+	return nil
+}
+
+// fromList layers a sequence of comparators into parallel stages using ASAP
+// scheduling: each comparator is placed in the earliest stage after the last
+// stage touching either of its wires. This preserves the sequential
+// semantics (the relative order of comparators sharing a wire) and yields
+// the critical-path depth.
+func fromList(width int, comps []Comparator) *Network {
+	last := make([]int, width) // last[w] = 1 + index of last stage using wire w
+	var stages [][]Comparator
+	for _, c := range comps {
+		s := last[c.A]
+		if last[c.B] > s {
+			s = last[c.B]
+		}
+		if s == len(stages) {
+			stages = append(stages, nil)
+		}
+		stages[s] = append(stages[s], c)
+		last[c.A], last[c.B] = s+1, s+1
+	}
+	return &Network{W: width, Stages: stages}
+}
+
+// Walkable is a comparator network defined implicitly: wires may be too
+// numerous to materialize, but the comparator touching a given wire at a
+// given stage is computable in O(1). Renaming-network traversals only ever
+// need this operation.
+type Walkable interface {
+	// Width returns the number of wires.
+	Width() uint64
+	// NumStages returns the number of parallel stages.
+	NumStages() int
+	// CompAt returns the comparator (a, b), a < b, touching wire w at
+	// stage s, or ok == false if wire w is idle at stage s.
+	CompAt(s int, w uint64) (a, b uint64, ok bool)
+}
+
+// Materialize converts a Walkable of modest width into an explicit Network
+// (used to verify the shared generator code exhaustively on small widths).
+func Materialize(wn Walkable) *Network {
+	width := int(wn.Width())
+	net := &Network{W: width}
+	for s := 0; s < wn.NumStages(); s++ {
+		var stage []Comparator
+		for w := uint64(0); w < uint64(width); w++ {
+			a, b, ok := wn.CompAt(s, w)
+			if ok && a == w { // emit once, from the low wire
+				stage = append(stage, Comparator{A: int32(a), B: int32(b)})
+			}
+		}
+		if len(stage) > 0 {
+			net.Stages = append(net.Stages, stage)
+		}
+	}
+	return net
+}

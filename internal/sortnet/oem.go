@@ -1,0 +1,80 @@
+package sortnet
+
+// OEM is Batcher's odd-even mergesort network in its iterative form, defined
+// lazily: comparators are computed on demand from (stage, wire), so widths
+// far beyond what could be materialized (up to 2^32 wires in the adaptive
+// construction) are walkable in O(1) per stage.
+//
+// For non-power-of-two widths the network is the power-of-two network with
+// all comparators touching out-of-range wires dropped; imagining the missing
+// wires to carry +inf shows the restriction still sorts (padding argument).
+//
+// All comparators are standard form (min to the lower wire), which is what
+// lets a renaming network route test-and-set winners "up". Depth is
+// lg(n)·(lg(n)+1)/2 = O(log² n): the paper's constructible alternative to
+// AKS, with exponent c = 2 in Theorem 2.
+type OEM struct {
+	n      uint64
+	stages []oemStage
+}
+
+type oemStage struct {
+	p, k uint64
+}
+
+var _ Walkable = (*OEM)(nil)
+
+// NewOEM returns the lazy odd-even mergesort network on n wires (n ≥ 1).
+func NewOEM(n uint64) *OEM {
+	if n == 0 {
+		panic("sortnet: OEM width must be at least 1")
+	}
+	o := &OEM{n: n}
+	for p := uint64(1); p < n; p *= 2 {
+		for k := p; k >= 1; k /= 2 {
+			o.stages = append(o.stages, oemStage{p: p, k: k})
+		}
+	}
+	return o
+}
+
+// Width returns the number of wires.
+func (o *OEM) Width() uint64 { return o.n }
+
+// NumStages returns the depth.
+func (o *OEM) NumStages() int { return len(o.stages) }
+
+// CompAt computes the comparator touching wire w at stage s, if any.
+//
+// Stage (p, k) of the iterative Batcher construction contains comparators
+// (j+i, j+i+k) for j ≡ k mod p (mod 2k), i in [0, k), subject to
+// j+i+k ≤ n−1 and ⌊(j+i)/2p⌋ = ⌊(j+i+k)/2p⌋. Equivalently: wire w is the
+// low end of a comparator iff w ≥ k mod p and (w − k mod p) mod 2k < k,
+// plus the two side conditions.
+func (o *OEM) CompAt(s int, w uint64) (a, b uint64, ok bool) {
+	st := o.stages[s]
+	if o.isLow(st, w) {
+		return w, w + st.k, true
+	}
+	if w >= st.k && o.isLow(st, w-st.k) {
+		return w - st.k, w, true
+	}
+	return 0, 0, false
+}
+
+// isLow reports whether wire w is the low end of a stage-(p,k) comparator.
+func (o *OEM) isLow(st oemStage, w uint64) bool {
+	base := st.k % st.p
+	if w < base || (w-base)%(2*st.k) >= st.k {
+		return false
+	}
+	if w+st.k > o.n-1 {
+		return false // partner out of range: comparator dropped (padding)
+	}
+	return w/(2*st.p) == (w+st.k)/(2*st.p)
+}
+
+// OddEvenMergeNet materializes Batcher's network on n wires explicitly.
+func OddEvenMergeNet(n int) *Network {
+	return Materialize(NewOEM(uint64(n)))
+}

@@ -1,0 +1,41 @@
+package sortnet
+
+import "fmt"
+
+// Sandwich composes sorting networks per Lemma 2 of the paper: a small
+// network B of width k is inserted between two larger networks A and C of
+// width m, with ell ≤ k/2 of B's ports exposed directly.
+//
+// The composite has width ell+m. Port layout (0-indexed wires):
+//
+//	inputs:  B_1..B_ell on wires 0..ell-1, A_1..A_m on wires ell..ell+m-1
+//	outputs: B'_1..B'_ell on wires 0..ell-1, C'_1..C'_m on wires ell..ell+m-1
+//
+// Internally A's outputs A'_1..A'_{k−ell} feed B's inputs B_{ell+1}..B_k,
+// B's outputs B'_{ell+1}..B'_k feed C_1..C_{k−ell}, and A's remaining
+// outputs pass straight through to C. With ports laid out as above, all
+// three connections are the identity on wires, so the composite is simply
+// A embedded at offset ell, then B at offset 0, then C at offset ell.
+//
+// Lemma 2 (verified exhaustively in tests via the zero-one principle): if
+// A, B, C are sorting networks and ell ≤ k/2 ≤ m, the composite sorts.
+// Lemma 3: an input entering on wires 0..ell-1 that is among the ell
+// smallest never leaves B — the adaptivity hook of Section 6.1.
+func Sandwich(a, b, c *Network, ell int) *Network {
+	m, k := a.W, b.W
+	if c.W != m {
+		panic(fmt.Sprintf("sortnet: Sandwich needs equal A/C widths, got %d and %d", m, c.W))
+	}
+	if ell < 0 || 2*ell > k {
+		panic(fmt.Sprintf("sortnet: Sandwich needs ell ≤ k/2, got ell=%d k=%d", ell, k))
+	}
+	if k-ell > m {
+		panic(fmt.Sprintf("sortnet: Sandwich needs k−ell ≤ m, got k=%d ell=%d m=%d", k, ell, m))
+	}
+	width := ell + m
+	out := &Network{W: width}
+	out.Stages = append(out.Stages, Embed(a, width, ell).Stages...)
+	out.Stages = append(out.Stages, Embed(b, width, 0).Stages...)
+	out.Stages = append(out.Stages, Embed(c, width, ell).Stages...)
+	return out
+}

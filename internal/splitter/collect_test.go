@@ -1,0 +1,107 @@
+package splitter
+
+import (
+	"testing"
+
+	"repro/internal/shmem"
+	"repro/internal/sim"
+)
+
+func TestCollectSeesCompletedStores(t *testing.T) {
+	for name := range adversaries(0) {
+		for seed := uint64(0); seed < 10; seed++ {
+			adv := adversaries(seed)[name]
+			rt := sim.New(seed, adv)
+			c := NewCollect(rt)
+			const k = 6
+			done := rt.NewCASReg(0)
+			var final []uint64
+			rt.Run(k, func(p shmem.Proc) {
+				h := c.Join(p, uint64(p.ID())+1)
+				h.Store(p, uint64(p.ID())+100)
+				for {
+					d := done.Read(p)
+					if done.CompareAndSwap(p, d, d+1) {
+						if d+1 == k {
+							final = c.CollectAll(p)
+						}
+						break
+					}
+				}
+			})
+			if len(final) != k {
+				t.Fatalf("adv=%s seed=%d: collected %d values, want %d: %v", name, seed, len(final), k, final)
+			}
+			seen := map[uint64]bool{}
+			for _, v := range final {
+				if v < 100 || v >= 100+k || seen[v] {
+					t.Fatalf("adv=%s seed=%d: bad collected set %v", name, seed, final)
+				}
+				seen[v] = true
+			}
+		}
+	}
+}
+
+func TestCollectStoreOverwrites(t *testing.T) {
+	rt := sim.New(1, sim.NewRoundRobin())
+	c := NewCollect(rt)
+	var got []uint64
+	rt.Run(1, func(p shmem.Proc) {
+		h := c.Join(p, 1)
+		h.Store(p, 7)
+		h.Store(p, 9) // latest store wins
+		got = c.CollectAll(p)
+	})
+	if len(got) != 1 || got[0] != 9 {
+		t.Fatalf("collected %v, want [9]", got)
+	}
+}
+
+func TestCollectAdaptiveCost(t *testing.T) {
+	// A collect's read count depends on contention (frontier ≈ poly k),
+	// never on identifier magnitude.
+	cost := func(k int) uint64 {
+		rt := sim.New(5, sim.NewRandom(5))
+		c := NewCollect(rt)
+		done := rt.NewCASReg(0)
+		var steps uint64
+		rt.Run(k, func(p shmem.Proc) {
+			h := c.Join(p, uint64(p.ID())*1_000_000_007+1)
+			h.Store(p, 1+uint64(p.ID()))
+			for {
+				d := done.Read(p)
+				if done.CompareAndSwap(p, d, d+1) {
+					if d+1 == uint64(k) {
+						before := p.Now()
+						c.CollectAll(p)
+						steps = p.Now() - before
+					}
+					break
+				}
+			}
+		})
+		return steps
+	}
+	c4, c16 := cost(4), cost(16)
+	if c4 == 0 || c16 == 0 {
+		t.Fatal("collect cost not measured")
+	}
+	// Frontier grows polynomially in k, never with the huge ids.
+	if c16 > 100*c4 {
+		t.Errorf("collect cost exploded: %d (k=4) vs %d (k=16)", c4, c16)
+	}
+}
+
+func TestCollectRejectsZeroStore(t *testing.T) {
+	rt := sim.New(1, sim.NewRoundRobin())
+	c := NewCollect(rt)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	rt.Run(1, func(p shmem.Proc) {
+		c.Join(p, 1).Store(p, 0)
+	})
+}

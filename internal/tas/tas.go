@@ -1,0 +1,167 @@
+// Package tas implements the test-and-set hierarchy the paper builds on:
+//
+//   - Unit: a hardware test-and-set (one CAS), unit cost. The paper states
+//     its upper bounds "also counting test-and-set operations as having unit
+//     cost" and notes the whole construction becomes deterministic when
+//     two-process TAS is available in hardware (Section 1, Discussion).
+//   - TwoProc: a randomized register-based two-process test-and-set with the
+//     cost profile of Tromp–Vitányi [20]: expected O(1) steps and O(log n)
+//     steps with high probability, against a strong adaptive adversary.
+//   - RatRace: an adaptive n-process test-and-set in the style of Alistarh
+//     et al. [12]: a randomized splitter tree feeding a tournament of
+//     two-process TAS objects, with per-process step complexity
+//     polylogarithmic in the contention k.
+//
+// See DESIGN.md ("Substitutions") for how TwoProc relates to the original
+// Tromp–Vitányi protocol.
+package tas
+
+import "repro/internal/shmem"
+
+// TAS is a one-shot multi-process test-and-set object. TestAndSet returns
+// true for exactly one caller (the winner); every other caller, in every
+// execution, returns false only after the object has been entered by some
+// other contender.
+type TAS interface {
+	TestAndSet(p shmem.Proc) bool
+}
+
+// Sided is a one-shot two-contender test-and-set where each side (0 or 1)
+// is used by at most one process. Renaming-network comparators and
+// tournament-tree edges satisfy this statically.
+type Sided interface {
+	TestAndSetSide(p shmem.Proc, side int) bool
+}
+
+// Unit is the hardware test-and-set: a single compare-and-swap on one word,
+// counted as one step. It supports any number of contenders and also
+// implements Sided (the side is irrelevant).
+type Unit struct {
+	w shmem.CASReg
+}
+
+var (
+	_ TAS   = (*Unit)(nil)
+	_ Sided = (*Unit)(nil)
+)
+
+// NewUnit allocates a hardware TAS from mem.
+func NewUnit(mem shmem.Mem) *Unit {
+	return &Unit{w: mem.NewCASReg(0)}
+}
+
+// TestAndSet wins iff the caller's CAS is the first.
+func (t *Unit) TestAndSet(p shmem.Proc) bool {
+	p.Note(shmem.EvTASEnter)
+	if t.w.CompareAndSwap(p, 0, 1) {
+		p.Note(shmem.EvTASWin)
+		return true
+	}
+	return false
+}
+
+// TestAndSetSide wins iff the caller's CAS is the first. Used as an
+// internal two-process object, it is accounted as such.
+func (t *Unit) TestAndSetSide(p shmem.Proc, _ int) bool {
+	p.Note(shmem.EvTAS2Enter)
+	return t.w.CompareAndSwap(p, 0, 1)
+}
+
+// TwoProc is a randomized two-process test-and-set built from three shared
+// words: one single-writer register per side plus one arbitration word.
+//
+// Protocol: the two sides run coin-flipping rounds. In each round a side
+// writes (round, coin) to its register — the coin flip is bundled with the
+// write, one step in the paper's accounting — and reads the opponent's
+// register. A side claims victory through a single CAS on the arbitration
+// word when it observes the opponent absent, behind, or coin-dominated; it
+// concedes without claiming when it observes the opponent coin-dominant in
+// the same round. Ties advance the round; observing the opponent ahead
+// jumps to the opponent's round.
+//
+// Safety invariants (each checked by tests, including exhaustive bounded
+// interleavings):
+//
+//   - at most one winner, unconditionally: winning requires the unique
+//     successful CAS on the arbitration word;
+//   - a process returns false only after observing evidence that the
+//     opponent entered the object (a nonzero opponent register or a lost
+//     CAS) — the invariant renaming networks need for the ghost-process
+//     simulation argument of Theorem 1;
+//   - a process running alone wins in 3 steps;
+//   - if both contenders run to completion, exactly one wins.
+//
+// Liveness: every confrontation round is decisive with probability ≥ 1/2
+// independently of the schedule, so the protocol finishes in expected O(1)
+// rounds and O(log n) rounds with probability 1 − 1/n^c — the
+// Tromp–Vitányi cost profile quoted in Section 2 of the paper.
+type TwoProc struct {
+	s [2]shmem.Reg
+	w shmem.CASReg
+}
+
+var _ Sided = (*TwoProc)(nil)
+
+// NewTwoProc allocates a two-process TAS from mem.
+func NewTwoProc(mem shmem.Mem) *TwoProc {
+	return &TwoProc{
+		s: [2]shmem.Reg{mem.NewReg(0), mem.NewReg(0)},
+		w: mem.NewCASReg(0),
+	}
+}
+
+func packRound(round, coin uint64) uint64 { return round<<1 | coin }
+
+func unpackRound(v uint64) (round, coin uint64) { return v >> 1, v & 1 }
+
+// TestAndSetSide runs the protocol for the given side (0 or 1).
+func (t *TwoProc) TestAndSetSide(p shmem.Proc, side int) bool {
+	if side != 0 && side != 1 {
+		panic("tas: TwoProc side must be 0 or 1")
+	}
+	p.Note(shmem.EvTAS2Enter)
+	round := uint64(1)
+	coin := p.Coin(2)
+	for {
+		t.s[side].Write(p, packRound(round, coin))
+		opp := t.s[1-side].Read(p)
+		if opp == 0 {
+			return t.claim(p, side) // opponent absent
+		}
+		oppRound, oppCoin := unpackRound(opp)
+		switch {
+		case oppRound < round:
+			return t.claim(p, side) // opponent behind
+		case oppRound > round:
+			round = oppRound // catch up and re-flip
+			coin = p.Coin(2)
+		case oppCoin == coin:
+			round++ // tie: next round
+			coin = p.Coin(2)
+		case coin == 1:
+			return t.claim(p, side) // coin-dominant
+		default:
+			// Coin-dominated in the same round: the opponent exists and —
+			// if it completes — claims on every one of its code paths, so
+			// conceding here never leaves a completed pair winnerless.
+			return false
+		}
+	}
+}
+
+// claim performs the unique arbitration CAS.
+func (t *TwoProc) claim(p shmem.Proc, side int) bool {
+	return t.w.CompareAndSwap(p, 0, uint64(side)+1)
+}
+
+// SidedMaker builds the two-process TAS flavor a composite algorithm uses
+// for its internal comparators and tournament edges.
+type SidedMaker func(mem shmem.Mem) Sided
+
+// MakeTwoProc allocates randomized register-based two-process TAS objects.
+func MakeTwoProc(mem shmem.Mem) Sided { return NewTwoProc(mem) }
+
+// MakeUnit allocates hardware (single-CAS) TAS objects; with it the
+// renaming network and the counting objects become deterministic, matching
+// the paper's hardware remark.
+func MakeUnit(mem shmem.Mem) Sided { return NewUnit(mem) }

@@ -1,0 +1,259 @@
+package renaming
+
+import (
+	"repro/internal/core"
+	"repro/internal/countnet"
+	"repro/internal/maxreg"
+	"repro/internal/shmem"
+	"repro/internal/sim"
+	"repro/internal/sortnet"
+	"repro/internal/splitter"
+	"repro/internal/tas"
+)
+
+// Core shared-memory abstractions, re-exported for users of the facade.
+type (
+	// Proc is the per-process execution context handed to Run bodies.
+	Proc = shmem.Proc
+	// Reg is a multi-writer multi-reader atomic register.
+	Reg = shmem.Reg
+	// Mem allocates shared objects bound to one runtime.
+	Mem = shmem.Mem
+	// Runtime executes process bodies against shared objects.
+	Runtime = shmem.Runtime
+	// Stats is the per-execution step accounting.
+	Stats = shmem.Stats
+	// Adversary chooses the schedule in the simulated runtime.
+	Adversary = sim.Adversary
+	// SimRuntime is the deterministic adversarial simulator.
+	SimRuntime = sim.Runtime
+	// TraceEvent is one scheduling decision of a traced simulation.
+	TraceEvent = sim.TraceEvent
+)
+
+// Renaming and counting objects.
+type (
+	// StrongAdaptive is the paper's headline algorithm (Section 6.2).
+	StrongAdaptive = core.StrongAdaptive
+	// BitBatching is the non-adaptive strong renaming of Section 4.
+	BitBatching = core.BitBatching
+	// RenamingNetwork is the fixed-namespace construction of Section 5.
+	RenamingNetwork = core.RenamingNetwork
+	// LinearProbe is the folklore linear-time baseline.
+	LinearProbe = core.LinearProbe
+	// Counter is the monotone-consistent counter of Section 8.1.
+	Counter = core.MonotoneCounter
+	// FetchInc is the m-valued fetch-and-increment of Section 8.2.
+	FetchInc = core.FetchInc
+	// LTAS is the linearizable ℓ-test-and-set of Algorithm 1.
+	LTAS = core.LTestAndSet
+	// Renamer is the common interface of all renaming algorithms.
+	Renamer = core.Renamer
+	// LinearizableCounter is the deterministic counter of Aspnes, Attiya
+	// and Censor [17] — the heavier baseline the paper's monotone counter
+	// improves on by a log factor.
+	LinearizableCounter = maxreg.AACCounter
+	// MaxRegister is a linearizable max register [17].
+	MaxRegister = maxreg.MaxReg
+	// LongLived is the long-lived renaming extension (Section 9 future
+	// work): acquired names can be released and are recycled.
+	LongLived = core.LongLived
+	// CountingNetwork is the bitonic counting network of [26], the related
+	// object Section 3 contrasts with renaming networks.
+	CountingNetwork = countnet.Network
+)
+
+// NewSim returns the deterministic simulator runtime: processes advance in
+// lock-step under adv's schedule, coin flips derive from seed, and the
+// returned Stats carry exact per-process step counts. Each SimRuntime runs
+// one execution (call NewSim again for the next).
+func NewSim(seed uint64, adv Adversary) *SimRuntime {
+	return sim.New(seed, adv)
+}
+
+// NewSimCapped is NewSim with a global step budget; the run aborts (with
+// Stats.StepCapHit set) instead of running forever under a starvation-prone
+// schedule.
+func NewSimCapped(seed uint64, adv Adversary, cap uint64) *SimRuntime {
+	return sim.New(seed, adv, sim.WithStepCap(cap))
+}
+
+// NewSimTraced is NewSim with an execution-transcript observer: fn runs
+// synchronously on every scheduling decision.
+func NewSimTraced(seed uint64, adv Adversary, fn func(TraceEvent)) *SimRuntime {
+	return sim.New(seed, adv, sim.WithTrace(fn))
+}
+
+// NewNative returns the concurrent runtime: real goroutines over
+// sync/atomic registers. Interleavings are up to the Go scheduler; step
+// counts remain exact.
+func NewNative(seed uint64) Runtime {
+	return shmem.NewNative(seed)
+}
+
+// Schedules for the simulated runtime.
+
+// RoundRobin returns the fair cyclic schedule.
+func RoundRobin() Adversary { return sim.NewRoundRobin() }
+
+// RandomSchedule returns a seeded uniformly random schedule.
+func RandomSchedule(seed uint64) Adversary { return sim.NewRandom(seed) }
+
+// Sequential returns the fully serializing schedule (one process at a
+// time, in id order).
+func Sequential() Adversary { return sim.NewSequential() }
+
+// AntiCoin returns a strong-adversary heuristic that starves processes
+// whose latest coin flip favors them.
+func AntiCoin(seed uint64) Adversary { return sim.NewAntiCoin(seed) }
+
+// Laggard returns a schedule that starves one victim process until all
+// others finish.
+func Laggard(victim int) Adversary { return sim.NewLaggard(victim) }
+
+// CrashAt wraps an adversary so that each process listed in at crashes the
+// first time it is scheduled at or after the given clock value.
+func CrashAt(inner Adversary, at map[int]uint64) Adversary {
+	return sim.NewCrashPlan(inner, at)
+}
+
+// Scripted returns a schedule that follows an explicit list of process
+// indices (falling back to the lowest ready process when the scripted one
+// is not ready, and to round robin after the script ends). Enumerating
+// scripts gives exhaustive bounded model checking; fuzzing them gives
+// property-based schedule coverage.
+func Scripted(script []int) Adversary { return sim.NewReplay(script) }
+
+// Oscillator returns a bursty schedule: each ready process runs burst
+// consecutive steps before the next takes over.
+func Oscillator(burst int) Adversary { return sim.NewOscillator(burst) }
+
+// Option configures object constructors.
+type Option func(*options)
+
+type options struct {
+	maker tas.SidedMaker
+	base  sortnet.Base
+}
+
+func buildOptions(opts []Option) options {
+	o := options{maker: tas.MakeTwoProc, base: sortnet.BaseOEM}
+	for _, f := range opts {
+		f(&o)
+	}
+	return o
+}
+
+// WithHardwareTAS makes internal two-process test-and-set objects a single
+// compare-and-swap each. The paper notes this yields a deterministic
+// algorithm with no loss in step complexity on machines with hardware TAS
+// (Section 1, Discussion); it is also the fast choice under the native
+// runtime.
+func WithHardwareTAS() Option {
+	return func(o *options) { o.maker = tas.MakeUnit }
+}
+
+// WithRegisterTAS makes internal two-process test-and-set objects the
+// randomized register-based protocol with the Tromp–Vitányi cost profile
+// (the default; matches the paper's pure shared-memory model).
+func WithRegisterTAS() Option {
+	return func(o *options) { o.maker = tas.MakeTwoProc }
+}
+
+// WithBalancedBase builds adaptive sorting networks from the balanced
+// network of Dowd–Perl–Rudolph–Saks instead of Batcher's odd-even
+// mergesort. Same depth exponent (c = 2), different constants — the
+// ablation knob of DESIGN.md.
+func WithBalancedBase() Option {
+	return func(o *options) { o.base = sortnet.BaseBalanced }
+}
+
+// NewRenaming builds the strong adaptive renaming object of Section 6.2 on
+// mem: names come out 1..k for any contention k, Rename costs O(log k)
+// expected test-and-set entries. Each invocation needs a globally unique
+// nonzero uid (process id + 1 for one-shot use).
+func NewRenaming(mem Mem, opts ...Option) *StrongAdaptive {
+	o := buildOptions(opts)
+	return core.NewStrongAdaptiveWithBase(mem, splitter.NewTree(mem), o.maker, o.base)
+}
+
+// NewBitBatchingRenaming builds the Section 4 algorithm: renaming into
+// exactly n names for up to n participants, O(log² n) test-and-set probes
+// per process w.h.p.
+func NewBitBatchingRenaming(mem Mem, n int, opts ...Option) *BitBatching {
+	o := buildOptions(opts)
+	return core.NewBitBatching(mem, n, o.maker)
+}
+
+// NewNetworkRenaming builds the Section 5 construction over Batcher's
+// odd-even mergesort network of width m: initial names must lie in [1, m];
+// the k participants rename into 1..k in depth O(log² m) comparators.
+func NewNetworkRenaming(mem Mem, m int, opts ...Option) *RenamingNetwork {
+	o := buildOptions(opts)
+	return core.NewRenamingNetwork(mem, sortnet.OddEvenMergeNet(m), o.maker)
+}
+
+// NewLinearProbeRenaming builds the linear-time baseline renamer.
+func NewLinearProbeRenaming(mem Mem, opts ...Option) *LinearProbe {
+	o := buildOptions(opts)
+	return core.NewLinearProbe(mem, o.maker)
+}
+
+// NewCounter builds the monotone-consistent counter of Section 8.1:
+// increments cost O(log v) expected steps after v increments; reads return
+// a value between the completed and started increment counts and are
+// mutually ordered. Not linearizable — see the package tests for the
+// paper's counterexample.
+func NewCounter(mem Mem, opts ...Option) *Counter {
+	o := buildOptions(opts)
+	return core.NewMonotoneCounter(mem, o.maker)
+}
+
+// NewLinearizableCounter builds the Aspnes–Attiya–Censor counter [17] for
+// up to n incrementing processes: linearizable, deterministic, with
+// O(log n · log v) increments — the baseline of Lemma 4's comparison.
+func NewLinearizableCounter(mem Mem, n int) *LinearizableCounter {
+	return maxreg.NewAACCounter(mem, n)
+}
+
+// NewMaxRegister builds an unbounded linearizable max register [17] with
+// O(log v) operations.
+func NewMaxRegister(mem Mem) MaxRegister {
+	return maxreg.NewUnbounded(mem)
+}
+
+// NewLTAS builds the linearizable ℓ-test-and-set of Algorithm 1: exactly
+// min(ℓ, callers) invocations return true.
+func NewLTAS(mem Mem, ell uint64, opts ...Option) *LTAS {
+	o := buildOptions(opts)
+	return core.NewLTestAndSet(mem, ell, o.maker)
+}
+
+// NewFetchInc builds the linearizable m-valued fetch-and-increment of
+// Algorithm 2: the i-th increment returns i (from 0), saturating at m−1,
+// in O(log k · log m) expected steps.
+func NewFetchInc(mem Mem, m uint64, opts ...Option) *FetchInc {
+	o := buildOptions(opts)
+	return core.NewFetchInc(mem, m, o.maker)
+}
+
+// NewCountingNetwork builds the bitonic counting network Bitonic[w] of
+// Aspnes, Herlihy and Shavit [26] (w a power of two): tokens traversing it
+// balance across outputs with the step property, and Next turns that into
+// a shared counter. With one token per input wire it assigns tight ranks —
+// the Section 3 equivalence with renaming networks [27].
+func NewCountingNetwork(mem Mem, w int) *CountingNetwork {
+	return countnet.NewBitonic(mem, w)
+}
+
+// NewLongLived builds the long-lived renaming extension: Acquire hands out
+// a name unique among current holders (recycling released names before
+// growing the namespace) and Release returns it. This is the engineering
+// answer to the paper's Section 9 "long-lived renaming" direction — a
+// lock-free free-list over the one-shot optimal renamer, not a solution to
+// the open theoretical problem.
+func NewLongLived(mem Mem, opts ...Option) *LongLived {
+	o := buildOptions(opts)
+	return core.NewLongLived(mem,
+		core.NewStrongAdaptiveWithBase(mem, splitter.NewTree(mem), o.maker, o.base))
+}
