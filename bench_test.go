@@ -1,4 +1,5 @@
-// Benchmarks, one per experiment table (see DESIGN.md §3 and EXPERIMENTS.md).
+// Benchmarks, one per experiment table (see BENCHMARKS.md for the harness
+// and how to regenerate numbers).
 // Each benchmark iteration executes one full simulated run; the custom
 // metrics report the model quantities the paper bounds (simulated steps and
 // test-and-set entries per process), while ns/op measures the harness

@@ -1,7 +1,7 @@
-// Command renamebench regenerates the experiment tables of EXPERIMENTS.md:
-// one table per entry of the per-experiment index in DESIGN.md, each
-// reproducing a claim of "Optimal-Time Adaptive Strong Renaming, with
-// Applications to Counting" (PODC 2011) on the deterministic simulator.
+// Command renamebench regenerates the experiment tables (E1–E17, see
+// BENCHMARKS.md): each table reproduces a claim of "Optimal-Time Adaptive
+// Strong Renaming, with Applications to Counting" (PODC 2011) on the
+// deterministic simulator.
 //
 // Usage:
 //
@@ -21,19 +21,30 @@ func main() {
 	quick := flag.Bool("quick", false, "shrink parameter sweeps for a fast smoke run")
 	seeds := flag.Int("seeds", 10, "independent runs per parameter point")
 	table := flag.String("table", "", "run only the experiment with this ID (e.g. E8)")
-	markdown := flag.Bool("markdown", false, "emit GitHub-flavored markdown (EXPERIMENTS.md format)")
+	markdown := flag.Bool("markdown", false, "emit GitHub-flavored markdown")
 	csv := flag.Bool("csv", false, "emit CSV series for external plotting")
+	jsonOut := flag.Bool("json", false, "emit one machine-readable JSON document per run (see scripts/bench.sh)")
 	flag.Parse()
+
+	if *jsonOut && (*markdown || *csv) {
+		fmt.Fprintln(os.Stderr, "renamebench: -json cannot be combined with -markdown or -csv")
+		os.Exit(2)
+	}
 
 	cfg := bench.Config{Seeds: *seeds, Quick: *quick}
 	tables := bench.All(cfg)
 
 	matched := false
+	var selected []*bench.Table
 	for _, t := range tables {
 		if *table != "" && !strings.EqualFold(t.ID, *table) {
 			continue
 		}
 		matched = true
+		selected = append(selected, t)
+		if *jsonOut {
+			continue // emitted as one document after the loop
+		}
 		switch {
 		case *csv:
 			t.CSV(os.Stdout)
@@ -41,6 +52,12 @@ func main() {
 			t.Markdown(os.Stdout)
 		default:
 			t.Fprint(os.Stdout)
+		}
+	}
+	if matched && *jsonOut {
+		if err := bench.JSONTables(os.Stdout, selected); err != nil {
+			fmt.Fprintln(os.Stderr, "renamebench:", err)
+			os.Exit(1)
 		}
 	}
 	if !matched {

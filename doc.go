@@ -37,6 +37,6 @@
 //	    fmt.Printf("process %d got name %d\n", p.ID(), name)
 //	})
 //
-// See examples/ for runnable scenarios and DESIGN.md for the system
-// inventory and the per-experiment reproduction index.
+// See examples/ for runnable scenarios and BENCHMARKS.md for the benchmark
+// harness, the scheduler fast paths, and the per-experiment index.
 package renaming

@@ -12,7 +12,7 @@ import (
 	"repro/internal/tas"
 )
 
-// E15Ablations probes the design choices DESIGN.md calls out:
+// E15Ablations probes the construction's design choices:
 //
 //   - base sorting network for the adaptive construction (Batcher OEM vs
 //     the balanced network — both c = 2, different constants);
@@ -23,7 +23,7 @@ func E15Ablations(cfg Config) *Table {
 	t := &Table{
 		ID:    "E15",
 		Title: "Ablations: base network, TAS flavor, RatRace fast path",
-		Claim: "constants move, asymptotics don't (paper §1 Discussion; DESIGN.md §3)",
+		Claim: "constants move, asymptotics don't (paper §1 Discussion)",
 		Cols:  []string{"variant", "k", "maxSteps", "maxComps/TAS", "tight/1winner"},
 	}
 	ks := []int{8, 64}
@@ -37,13 +37,13 @@ func E15Ablations(cfg Config) *Table {
 	}
 	variants := []variant{
 		{"renaming/base=oem", func(seed uint64, k int) (*shmem.Stats, bool, uint64) {
-			return runRenamingVariant(seed, k, sortnet.BaseOEM, tas.MakeTwoProc)
+			return runRenamingVariant(seed, k, sortnet.BaseOEM, tas.MakeTwoProcPool)
 		}},
 		{"renaming/base=balanced", func(seed uint64, k int) (*shmem.Stats, bool, uint64) {
-			return runRenamingVariant(seed, k, sortnet.BaseBalanced, tas.MakeTwoProc)
+			return runRenamingVariant(seed, k, sortnet.BaseBalanced, tas.MakeTwoProcPool)
 		}},
 		{"renaming/tas=hardware", func(seed uint64, k int) (*shmem.Stats, bool, uint64) {
-			return runRenamingVariant(seed, k, sortnet.BaseOEM, tas.MakeUnit)
+			return runRenamingVariant(seed, k, sortnet.BaseOEM, unitMaker)
 		}},
 		{"ratrace/plain", func(seed uint64, k int) (*shmem.Stats, bool, uint64) {
 			return runRatRaceVariant(seed, k, false)
@@ -114,9 +114,9 @@ func E16Wakeup(cfg Config) *Table {
 	return t
 }
 
-func runRenamingVariant(seed uint64, k int, base sortnet.Base, mk tas.SidedMaker) (*shmem.Stats, bool, uint64) {
+func runRenamingVariant(seed uint64, k int, base sortnet.Base, mkFor func(shmem.Mem) tas.SidedMaker) (*shmem.Stats, bool, uint64) {
 	rt := sim.New(seed, sim.NewRandom(seed))
-	sa := core.NewStrongAdaptiveWithBase(rt, splitter.NewTree(rt), mk, base)
+	sa := core.NewStrongAdaptiveWithBase(rt, splitter.NewTree(rt), mkFor(rt), base)
 	names := make([]uint64, k)
 	st := rt.Run(k, func(p shmem.Proc) {
 		names[p.ID()] = sa.Rename(p, uint64(p.ID())+1)
@@ -124,13 +124,17 @@ func runRenamingVariant(seed uint64, k int, base sortnet.Base, mk tas.SidedMaker
 	return st, core.CheckUniqueTight(names) == nil, st.MaxEvent(shmem.EvComparator)
 }
 
+// unitMaker adapts tas.MakeUnit to the per-runtime maker-factory shape of
+// runRenamingVariant (hardware TAS objects need no pooling).
+func unitMaker(shmem.Mem) tas.SidedMaker { return tas.MakeUnit }
+
 func runRatRaceVariant(seed uint64, k int, fast bool) (*shmem.Stats, bool, uint64) {
 	rt := sim.New(seed, sim.NewRandom(seed))
 	var rr *tas.RatRace
 	if fast {
-		rr = tas.NewRatRaceWithFastPath(rt, tas.MakeTwoProc)
+		rr = tas.NewRatRaceWithFastPath(rt, tas.MakeTwoProcPool(rt))
 	} else {
-		rr = tas.NewRatRace(rt, tas.MakeTwoProc)
+		rr = tas.NewRatRace(rt, tas.MakeTwoProcPool(rt))
 	}
 	wins := 0
 	st := rt.Run(k, func(p shmem.Proc) {

@@ -20,7 +20,7 @@ type Config struct {
 	Quick bool
 }
 
-// DefaultConfig is the full-size sweep used for EXPERIMENTS.md.
+// DefaultConfig is the full-size sweep used for the published tables.
 var DefaultConfig = Config{Seeds: 10}
 
 // All runs every experiment and returns the tables in index order.
@@ -84,7 +84,7 @@ func E1BitBatching(cfg Config) *Table {
 		var probes, steps, total, totalTAS agg
 		for seed := 0; seed < cfg.Seeds; seed++ {
 			rt := sim.New(uint64(seed), sim.NewRandom(uint64(seed)))
-			bb := core.NewBitBatching(rt, n, tas.MakeTwoProc)
+			bb := core.NewBitBatching(rt, n, tas.MakeTwoProcPool(rt))
 			st := rt.Run(n, func(p shmem.Proc) {
 				bb.Rename(p, uint64(p.ID())+1)
 			})
@@ -162,7 +162,7 @@ func E5RenamingNetwork(cfg Config) *Table {
 			tight := true
 			for seed := 0; seed < cfg.Seeds; seed++ {
 				rt := sim.New(uint64(seed), sim.NewRandom(uint64(seed)))
-				rn := core.NewRenamingNetwork(rt, net, tas.MakeTwoProc)
+				rn := core.NewRenamingNetwork(rt, net, tas.MakeTwoProcPool(rt))
 				names := make([]uint64, k)
 				st := rt.Run(k, func(p shmem.Proc) {
 					names[p.ID()] = rn.Rename(p, uint64(p.ID()*m/k)+1)
@@ -233,7 +233,7 @@ func E8StrongAdaptive(cfg Config) *Table {
 		tight := true
 		for seed := 0; seed < cfg.Seeds; seed++ {
 			rt := sim.New(uint64(seed), sim.NewRandom(uint64(seed)))
-			sa := core.NewStrongAdaptive(rt, splitter.NewTree(rt), tas.MakeTwoProc)
+			sa := core.NewStrongAdaptive(rt, splitter.NewTree(rt), tas.MakeTwoProcPool(rt))
 			names := make([]uint64, k)
 			st := rt.Run(k, func(p shmem.Proc) {
 				names[p.ID()] = sa.Rename(p, uint64(p.ID())+1)
@@ -286,7 +286,7 @@ func E9LowerBound(cfg Config) *Table {
 		var mean agg
 		for seed := 0; seed < cfg.Seeds; seed++ {
 			rt := sim.New(uint64(seed), sim.NewRandom(uint64(seed)))
-			sa := core.NewStrongAdaptive(rt, splitter.NewTree(rt), tas.MakeTwoProc)
+			sa := core.NewStrongAdaptive(rt, splitter.NewTree(rt), tas.MakeTwoProcPool(rt))
 			st := rt.Run(k, func(p shmem.Proc) {
 				sa.Rename(p, uint64(p.ID())+1)
 			})
@@ -320,7 +320,7 @@ func E10Counter(cfg Config) *Table {
 		consistent := true
 		for seed := 0; seed < cfg.Seeds; seed++ {
 			rt := sim.New(uint64(seed), sim.NewRandom(uint64(seed)))
-			c := core.NewMonotoneCounter(rt, tas.MakeTwoProc)
+			c := core.NewMonotoneCounter(rt, tas.MakeTwoProcPool(rt))
 			var incs, reads []core.Interval
 			var incSteps, readSteps agg
 			rt.Run(sh.k, func(p shmem.Proc) {
@@ -407,7 +407,7 @@ func E12LTAS(cfg Config) *Table {
 		var steps agg
 		for seed := 0; seed < cfg.Seeds; seed++ {
 			rt := sim.New(uint64(seed), sim.NewRandom(uint64(seed)))
-			o := core.NewLTestAndSet(rt, sh.ell, tas.MakeTwoProc)
+			o := core.NewLTestAndSet(rt, sh.ell, tas.MakeTwoProcPool(rt))
 			ops := make([]core.Interval, sh.k)
 			st := rt.Run(sh.k, func(p shmem.Proc) {
 				s0 := p.Now()
@@ -457,7 +457,7 @@ func E13FetchInc(cfg Config) *Table {
 		linearizable := true
 		for seed := 0; seed < cfg.Seeds; seed++ {
 			rt := sim.New(uint64(seed), sim.NewRandom(uint64(seed)))
-			f := core.NewFetchInc(rt, sh.m, tas.MakeTwoProc)
+			f := core.NewFetchInc(rt, sh.m, tas.MakeTwoProcPool(rt))
 			var ops []core.Interval
 			st := rt.Run(sh.k, func(p shmem.Proc) {
 				s0 := p.Now()
@@ -498,18 +498,18 @@ func E14Baselines(cfg Config) *Table {
 		adObjects, bbObjects := 0, 0
 		for seed := 0; seed < cfg.Seeds; seed++ {
 			rt := sim.New(uint64(seed), sim.NewRandom(uint64(seed)))
-			sa := core.NewStrongAdaptive(rt, splitter.NewTree(rt), tas.MakeTwoProc)
+			sa := core.NewStrongAdaptive(rt, splitter.NewTree(rt), tas.MakeTwoProcPool(rt))
 			st := rt.Run(k, func(p shmem.Proc) { sa.Rename(p, uint64(p.ID())+1) })
 			adSteps.add(float64(st.MaxSteps()))
 			adObjects = sa.ComparatorObjects() + sa.SplitterNodes()
 
 			rt2 := sim.New(uint64(seed), sim.NewRandom(uint64(seed)))
-			lp := core.NewLinearProbe(rt2, tas.MakeTwoProc)
+			lp := core.NewLinearProbe(rt2, tas.MakeTwoProcPool(rt2))
 			st2 := rt2.Run(k, func(p shmem.Proc) { lp.Rename(p, uint64(p.ID())+1) })
 			lpSteps.add(float64(st2.MaxSteps()))
 
 			rt3 := sim.New(uint64(seed), sim.NewRandom(uint64(seed)))
-			bb := core.NewBitBatching(rt3, k, tas.MakeTwoProc)
+			bb := core.NewBitBatching(rt3, k, tas.MakeTwoProcPool(rt3))
 			st3 := rt3.Run(k, func(p shmem.Proc) { bb.Rename(p, uint64(p.ID())+1) })
 			bbSteps.add(float64(st3.MaxSteps()))
 			bbObjects = k // one RatRace per name, allocated up front

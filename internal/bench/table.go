@@ -1,10 +1,11 @@
 // Package bench is the experiment harness: one function per entry of the
-// per-experiment index in DESIGN.md (E1–E14), each regenerating the
+// per-experiment index (E1–E17, see BENCHMARKS.md), each regenerating the
 // corresponding claim of the paper as a printed table. cmd/renamebench is
-// the CLI front end; EXPERIMENTS.md records a captured run.
+// the CLI front end.
 package bench
 
 import (
+	"encoding/json"
 	"fmt"
 	"io"
 	"math"
@@ -14,12 +15,12 @@ import (
 // Table is one experiment's output: a claim from the paper and the measured
 // rows that reproduce (or refute) its shape.
 type Table struct {
-	ID    string
-	Title string
-	Claim string
-	Cols  []string
-	Rows  [][]string
-	Notes []string
+	ID    string     `json:"id"`
+	Title string     `json:"title"`
+	Claim string     `json:"claim"`
+	Cols  []string   `json:"cols"`
+	Rows  [][]string `json:"rows"`
+	Notes []string   `json:"notes,omitempty"`
 }
 
 // AddRow appends a formatted row.
@@ -69,7 +70,7 @@ func (t *Table) Fprint(w io.Writer) {
 }
 
 // Markdown renders the table as a GitHub-flavored markdown section (used to
-// regenerate EXPERIMENTS.md).
+// render the tables for docs).
 func (t *Table) Markdown(w io.Writer) {
 	fmt.Fprintf(w, "### %s — %s\n\n", t.ID, t.Title)
 	fmt.Fprintf(w, "**Paper claim.** %s\n\n", t.Claim)
@@ -86,6 +87,18 @@ func (t *Table) Markdown(w io.Writer) {
 	for _, n := range t.Notes {
 		fmt.Fprintf(w, "_Note: %s_\n\n", n)
 	}
+}
+
+// JSONTables writes the tables as one machine-readable JSON document (the
+// renamebench -json format consumed by scripts/bench.sh for the perf
+// trajectory files BENCH_<n>.json).
+func JSONTables(w io.Writer, tables []*Table) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(struct {
+		Schema string   `json:"schema"`
+		Tables []*Table `json:"tables"`
+	}{Schema: "renamebench/v1", Tables: tables})
 }
 
 // CSV renders the table as comma-separated values with an id column, for

@@ -2,7 +2,6 @@ package core
 
 import (
 	"fmt"
-	"sync"
 
 	"repro/internal/shmem"
 	"repro/internal/sortnet"
@@ -24,12 +23,12 @@ type RenamingNetwork struct {
 	mem shmem.Mem
 	mk  tas.SidedMaker
 
-	// lookup[s][w] is the index into comps[s] of the comparator touching
-	// wire w at stage s, or -1.
+	// lookup[s][w] is the index into stage s of the comparator touching
+	// wire w, or -1.
 	lookup [][]int32
 
-	mu    sync.Mutex // guards lazy comparator-object allocation
-	comps []map[int32]tas.Sided
+	// comps lazily maps stage<<32|index to the comparator's TAS object.
+	comps *shmem.LazyTable[tas.Sided]
 }
 
 // NewRenamingNetwork builds a renaming network over an explicit sorting
@@ -41,7 +40,7 @@ func NewRenamingNetwork(mem shmem.Mem, net *sortnet.Network, mk tas.SidedMaker) 
 		mem:    mem,
 		mk:     mk,
 		lookup: make([][]int32, len(net.Stages)),
-		comps:  make([]map[int32]tas.Sided, len(net.Stages)),
+		comps:  shmem.NewLazyTable[tas.Sided](mem),
 	}
 	for s, stage := range net.Stages {
 		row := make([]int32, net.W)
@@ -52,7 +51,6 @@ func NewRenamingNetwork(mem shmem.Mem, net *sortnet.Network, mk tas.SidedMaker) 
 			row[c.A], row[c.B] = int32(ci), int32(ci)
 		}
 		rn.lookup[s] = row
-		rn.comps[s] = make(map[int32]tas.Sided)
 	}
 	return rn
 }
@@ -65,14 +63,11 @@ func (rn *RenamingNetwork) Width() int { return rn.net.W }
 func (rn *RenamingNetwork) Depth() int { return rn.net.Depth() }
 
 func (rn *RenamingNetwork) comp(stage int, ci int32) tas.Sided {
-	rn.mu.Lock()
-	defer rn.mu.Unlock()
-	t, ok := rn.comps[stage][ci]
-	if !ok {
-		t = rn.mk(rn.mem)
-		rn.comps[stage][ci] = t
+	key := uint64(stage)<<32 | uint64(uint32(ci))
+	if t, ok := rn.comps.Lookup(key); ok {
+		return t
 	}
-	return t
+	return rn.comps.Insert(key, rn.mk(rn.mem))
 }
 
 // Rename routes the process holding initial name uid ∈ [1, M] through the
@@ -113,15 +108,15 @@ func (rn *RenamingNetwork) Rename(p shmem.Proc, uid uint64) uint64 {
 // two-process test-and-set entries, i.e. O(log k) steps in expectation and
 // O(log² k) with high probability (with the paper's AKS base these
 // constants drop by one log factor; we use the constructible Batcher base,
-// c = 2 — see DESIGN.md).
+// c = 2 — see BENCHMARKS.md).
 type StrongAdaptive struct {
 	mem  shmem.Mem
 	mk   tas.SidedMaker
 	tree TempNamer
 	ad   *sortnet.Adaptive
 
-	mu    sync.Mutex
-	comps map[sortnet.Comp]tas.Sided
+	// comps lazily maps Comp.Key() to the comparator's shared TAS object.
+	comps *shmem.LazyTable[tas.Sided]
 }
 
 var _ Renamer = (*StrongAdaptive)(nil)
@@ -142,14 +137,14 @@ func NewStrongAdaptive(mem shmem.Mem, tree TempNamer, mk tas.SidedMaker) *Strong
 
 // NewStrongAdaptiveWithBase is NewStrongAdaptive with an explicit base
 // sorting network for the adaptive construction (the ablation knob of
-// DESIGN.md; both available bases have depth exponent c = 2).
+// BENCHMARKS.md; both available bases have depth exponent c = 2).
 func NewStrongAdaptiveWithBase(mem shmem.Mem, tree TempNamer, mk tas.SidedMaker, base sortnet.Base) *StrongAdaptive {
 	return &StrongAdaptive{
 		mem:   mem,
 		mk:    mk,
 		tree:  tree,
-		ad:    sortnet.NewAdaptiveWithBase(sortnet.MaxAdaptiveWire, base),
-		comps: make(map[sortnet.Comp]tas.Sided),
+		ad:    sortnet.SharedAdaptive(base),
+		comps: shmem.NewLazyTable[tas.Sided](mem),
 	}
 }
 
@@ -158,22 +153,17 @@ func NewStrongAdaptiveWithBase(mem shmem.Mem, tree TempNamer, mk tas.SidedMaker,
 func (sa *StrongAdaptive) Network() *sortnet.Adaptive { return sa.ad }
 
 func (sa *StrongAdaptive) comp(c sortnet.Comp) tas.Sided {
-	sa.mu.Lock()
-	defer sa.mu.Unlock()
-	t, ok := sa.comps[c]
-	if !ok {
-		t = sa.mk(sa.mem)
-		sa.comps[c] = t
+	key := c.Key()
+	if t, ok := sa.comps.Lookup(key); ok {
+		return t
 	}
-	return t
+	return sa.comps.Insert(key, sa.mk(sa.mem))
 }
 
 // ComparatorObjects returns the number of comparator TAS objects allocated
 // so far — the adaptive space probe.
 func (sa *StrongAdaptive) ComparatorObjects() int {
-	sa.mu.Lock()
-	defer sa.mu.Unlock()
-	return len(sa.comps)
+	return sa.comps.Len()
 }
 
 // SplitterNodes returns the number of splitter-tree nodes allocated by

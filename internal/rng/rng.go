@@ -62,6 +62,20 @@ func (s *SplitMix64) Uint64n(n uint64) uint64 {
 		panic("rng: Uint64n called with n == 0")
 	}
 	// Avoid modulo bias by rejection sampling over the largest multiple of n.
+	// For powers of two (coin flips, the common case on the hot path) the
+	// bound and the reduction collapse to masks — the accepted draws, the
+	// rejected draws, and the outputs are identical to the general path,
+	// just without the two 64-bit divisions.
+	if n&(n-1) == 0 {
+		mask := n - 1
+		max := ^uint64(0) - mask
+		for {
+			v := s.Next()
+			if v < max {
+				return v & mask
+			}
+		}
+	}
 	max := ^uint64(0) - ^uint64(0)%n
 	for {
 		v := s.Next()

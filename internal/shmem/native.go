@@ -1,6 +1,7 @@
 package shmem
 
 import (
+	"runtime"
 	"sync"
 	"sync/atomic"
 
@@ -12,27 +13,74 @@ import (
 // wall-clock benchmarks; step counts are exact but interleavings are up to
 // the Go scheduler, so adversarial schedules and deterministic replay come
 // from internal/sim instead.
+//
+// Step accounting is contention-free: every process counts its own steps in
+// a cache-line-padded slot, and no shared state is touched per step unless
+// timestamps are enabled. WithTimestamps adds a shared atomic clock bumped
+// on every step — the Now() values the linearizability and
+// monotone-consistency checkers correlate across processes — at the cost of
+// serializing all processes on that one cache line.
 type Native struct {
-	seed  uint64
+	seed uint64
+	ts   bool
+	pad  bool
+	// clock is the shared timestamp clock, maintained only WithTimestamps.
+	// Padded so the preceding fields don't share its cache line.
+	_     [64]byte
 	clock atomic.Uint64
+	_     [56]byte
 }
 
 var _ Runtime = (*Native)(nil)
 
+// NativeOption configures a Native runtime.
+type NativeOption func(*Native)
+
+// WithTimestamps enables the shared global clock behind Now(). Checkers
+// that compare operation intervals across processes need it; plain
+// benchmarks and production use leave it off, keeping the step hot path
+// free of cross-core contention (Now() then reports the process-local step
+// count, which is still monotone per process).
+func WithTimestamps() NativeOption {
+	return func(n *Native) { n.ts = true }
+}
+
+// WithRegisterPadding overrides the automatic register-padding choice (see
+// NewNative). Padding wins on multicore machines and only wastes cache on
+// single-core ones, so the default follows GOMAXPROCS; the knob exists for
+// measurements of either configuration.
+func WithRegisterPadding(on bool) NativeOption {
+	return func(n *Native) { n.pad = on }
+}
+
 // NewNative returns a native runtime whose coin streams derive from seed.
-func NewNative(seed uint64) *Native {
-	return &Native{seed: seed}
+// Registers are padded to a cache line each when the process can actually
+// run in parallel (GOMAXPROCS > 1); with a single P there is no false
+// sharing to kill, and padding would only inflate the working set.
+func NewNative(seed uint64, opts ...NativeOption) *Native {
+	n := &Native{seed: seed, pad: runtime.GOMAXPROCS(0) > 1}
+	for _, o := range opts {
+		o(n)
+	}
+	return n
 }
 
 // NewReg allocates an atomic register.
 func (n *Native) NewReg(init uint64) Reg {
-	r := &nativeReg{}
-	r.v.Store(init)
-	return r
+	return n.newReg(init)
 }
 
 // NewCASReg allocates an atomic register with compare-and-swap.
 func (n *Native) NewCASReg(init uint64) CASReg {
+	return n.newReg(init)
+}
+
+func (n *Native) newReg(init uint64) CASReg {
+	if n.pad {
+		r := &nativeRegPadded{}
+		r.v.Store(init)
+		return r
+	}
 	r := &nativeReg{}
 	r.v.Store(init)
 	return r
@@ -40,24 +88,25 @@ func (n *Native) NewCASReg(init uint64) CASReg {
 
 // Run executes body on k goroutines and blocks until all return.
 func (n *Native) Run(k int, body func(p Proc)) *Stats {
-	procs := make([]*nativeProc, k)
+	// One contiguous, padded slice: each proc's counters live in their own
+	// cache lines, so concurrent Step accounting never false-shares.
+	procs := make([]nativeProc, k)
 	var wg sync.WaitGroup
 	wg.Add(k)
 	for i := 0; i < k; i++ {
-		procs[i] = &nativeProc{
-			id:  i,
-			rng: rng.Derive(n.seed, uint64(i)),
-			rt:  n,
-		}
-		go func(p *nativeProc) {
+		p := &procs[i]
+		p.id = i
+		p.rng = *rng.Derive(n.seed, uint64(i))
+		p.rt = n
+		go func() {
 			defer wg.Done()
 			body(p)
-		}(procs[i])
+		}()
 	}
 	wg.Wait()
 	st := &Stats{PerProc: make([]OpCounts, k)}
-	for i, p := range procs {
-		st.PerProc[i] = p.counts
+	for i := range procs {
+		st.PerProc[i] = procs[i].counts
 	}
 	return st
 }
@@ -81,11 +130,37 @@ func (r *nativeReg) CompareAndSwap(p Proc, old, new uint64) bool {
 	return r.v.CompareAndSwap(old, new)
 }
 
+// nativeRegPadded pads the register word to a full cache line: renaming
+// networks allocate registers in droves, and adjacent hot registers (the
+// two sides of a test-and-set) would otherwise false-share under real
+// parallelism.
+type nativeRegPadded struct {
+	v atomic.Uint64
+	_ [56]byte
+}
+
+func (r *nativeRegPadded) Read(p Proc) uint64 {
+	p.Step(OpRead)
+	return r.v.Load()
+}
+
+func (r *nativeRegPadded) Write(p Proc, v uint64) {
+	p.Step(OpWrite)
+	r.v.Store(v)
+}
+
+func (r *nativeRegPadded) CompareAndSwap(p Proc, old, new uint64) bool {
+	p.Step(OpCAS)
+	return r.v.CompareAndSwap(old, new)
+}
+
 type nativeProc struct {
 	id     int
-	rng    *rng.SplitMix64
 	rt     *Native
+	rng    rng.SplitMix64
+	steps  uint64
 	counts OpCounts
+	_      [64]byte // keep adjacent procs' counters off each other's lines
 }
 
 func (p *nativeProc) ID() int { return p.id }
@@ -97,19 +172,29 @@ func (p *nativeProc) Coin(n uint64) uint64 {
 
 func (p *nativeProc) Step(op Op) {
 	p.counts.Ops[op]++
-	p.rt.clock.Add(1)
+	p.steps++
+	if p.rt.ts {
+		p.rt.clock.Add(1)
+	}
 }
 
 func (p *nativeProc) Note(ev Event) {
 	p.counts.Events[ev]++
 }
 
+// Now returns the shared timestamp clock when the runtime was built
+// WithTimestamps, and the process-local step count otherwise. The local
+// count is monotone per process but not comparable across processes — the
+// documented trade for a contention-free step path.
 func (p *nativeProc) Now() uint64 {
-	return p.rt.clock.Load()
+	if p.rt.ts {
+		return p.rt.clock.Load()
+	}
+	return p.steps
 }
 
 // StepsTaken returns the process's own running step count (used by the
 // benchmark harness to attribute costs to individual operations).
 func (p *nativeProc) StepsTaken() uint64 {
-	return p.counts.Steps()
+	return p.steps
 }

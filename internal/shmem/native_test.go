@@ -111,3 +111,80 @@ func TestOpStrings(t *testing.T) {
 		t.Fatal("op names changed")
 	}
 }
+
+// TestNativeNowWithTimestamps checks the WithTimestamps knob: Now reads a
+// clock shared across processes, so some process must observe a value
+// beyond its own step count, and none may observe less than it.
+func TestNativeNowWithTimestamps(t *testing.T) {
+	const k, each = 4, 100
+	rt := NewNative(3, WithTimestamps())
+	ctr := rt.NewCASReg(0)
+	finals := make([]uint64, k)
+	st := rt.Run(k, func(p Proc) {
+		for i := 0; i < each; i++ {
+			ctr.Read(p)
+		}
+		finals[p.ID()] = p.Now()
+	})
+	var maxFinal uint64
+	for i, f := range finals {
+		if f < each {
+			t.Fatalf("proc %d observed Now=%d below its own %d steps", i, f, each)
+		}
+		if f > maxFinal {
+			maxFinal = f
+		}
+	}
+	if maxFinal <= each {
+		t.Fatalf("no process observed the shared clock beyond its own steps (max %d)", maxFinal)
+	}
+	if total := st.TotalSteps(); maxFinal > total {
+		t.Fatalf("clock %d ran past total steps %d", maxFinal, total)
+	}
+}
+
+// TestNativeNowLocalByDefault checks the contention-free default: Now is the
+// process's own step count, monotone per process.
+func TestNativeNowLocalByDefault(t *testing.T) {
+	const k = 4
+	rt := NewNative(3)
+	r := rt.NewReg(0)
+	bad := make([]bool, k)
+	rt.Run(k, func(p Proc) {
+		for i := uint64(1); i <= 50; i++ {
+			r.Read(p)
+			if p.Now() != i {
+				bad[p.ID()] = true
+			}
+		}
+	})
+	for i, b := range bad {
+		if b {
+			t.Fatalf("proc %d: Now without timestamps should equal the process-local step count", i)
+		}
+	}
+}
+
+// TestNativeRegisterPaddingKnob checks both register layouts behave
+// identically.
+func TestNativeRegisterPaddingKnob(t *testing.T) {
+	for _, pad := range []bool{false, true} {
+		rt := NewNative(1, WithRegisterPadding(pad))
+		ctr := rt.NewCASReg(0)
+		probe := &finalProbe{}
+		rt.Run(4, func(p Proc) {
+			for i := 0; i < 200; i++ {
+				for {
+					v := ctr.Read(p)
+					if ctr.CompareAndSwap(p, v, v+1) {
+						break
+					}
+				}
+			}
+			probe.read(p, ctr)
+		})
+		if probe.max != 800 {
+			t.Fatalf("pad=%v: final counter %d, want 800", pad, probe.max)
+		}
+	}
+}

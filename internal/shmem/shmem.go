@@ -78,8 +78,10 @@ type Proc interface {
 	Note(ev Event)
 	// Now returns a monotone logical clock reading used to timestamp
 	// operation intervals for the linearizability and monotone-consistency
-	// checkers. In the simulator this is the global step index; natively it
-	// is a shared atomic counter.
+	// checkers. In the simulator this is the global step index. Natively it
+	// is a shared atomic counter when the runtime is built WithTimestamps,
+	// and the process-local step count (monotone per process, not
+	// comparable across processes) otherwise.
 	Now() uint64
 }
 

@@ -1,0 +1,165 @@
+package shmem
+
+import (
+	"math/bits"
+	"sync"
+	"sync/atomic"
+)
+
+// Serial is an optional marker for Mem implementations whose objects are
+// only ever accessed by one goroutine at a time. The deterministic
+// simulator is serial: its scheduler keeps exactly one process coroutine
+// runnable at any moment, so object bookkeeping (the lazy allocation tables
+// behind comparators, splitter nodes, tournament nodes) can skip internal
+// synchronization. The native runtime is concurrent and is not Serial.
+type Serial interface {
+	SerialMem()
+}
+
+// IsSerial reports whether mem declares its objects goroutine-confined.
+func IsSerial(mem Mem) bool {
+	_, ok := mem.(Serial)
+	return ok
+}
+
+// LazyTable is a uint64-keyed table of lazily created shared objects. The
+// constructions in this repository conceptually pre-allocate unbounded
+// object families (an infinite splitter tree, a 2^32-wire network of
+// comparators); a LazyTable materializes only the objects an execution
+// touches. Allocation is bookkeeping outside the shared-memory model — no
+// simulated steps are charged — but it sits on the hot path of every object
+// access, so the table has two implementations: on Serial runtimes an
+// unsynchronized open-addressing table (one multiply-shift hash, linear
+// probing, no per-entry allocation), otherwise a sync.Map (each object
+// still created exactly once per key as far as any process can observe).
+type LazyTable[V any] struct {
+	// Serial path: open addressing with linear probing over key/value pairs
+	// (co-located so a probe costs one cache line). Key 0 is the empty
+	// sentinel; the rare real key 0 is stored in zeroVal instead.
+	slots   []lazySlot[V]
+	used    int
+	shift   uint
+	zeroVal V
+	hasZero bool
+	serial  bool
+
+	m sync.Map
+	n atomic.Int64 // concurrent-path size
+}
+
+type lazySlot[V any] struct {
+	key uint64
+	val V
+}
+
+const lazyTableMinSize = 64 // power of two
+
+// NewLazyTable returns a table whose synchronization matches mem.
+func NewLazyTable[V any](mem Mem) *LazyTable[V] {
+	t := &LazyTable[V]{}
+	if IsSerial(mem) {
+		t.serial = true
+		t.slots = make([]lazySlot[V], lazyTableMinSize)
+		t.shift = 64 - uint(bits.TrailingZeros(lazyTableMinSize))
+	}
+	return t
+}
+
+// hash spreads a key over the table with a Fibonacci multiply-shift.
+func (t *LazyTable[V]) hash(key uint64) uint64 {
+	return (key * 0x9e3779b97f4a7c15) >> t.shift
+}
+
+// Lookup returns the object at key if it exists. The hit path takes no
+// locks and allocates nothing (callers avoid closure-based get-or-create
+// APIs deliberately: constructing a capturing closure per access costs an
+// allocation on the hot path).
+func (t *LazyTable[V]) Lookup(key uint64) (V, bool) {
+	if t.serial {
+		if key == 0 {
+			return t.zeroVal, t.hasZero
+		}
+		mask := uint64(len(t.slots) - 1)
+		for i := t.hash(key); ; i = (i + 1) & mask {
+			s := &t.slots[i]
+			if s.key == key {
+				return s.val, true
+			}
+			if s.key == 0 {
+				var zero V
+				return zero, false
+			}
+		}
+	}
+	if v, ok := t.m.Load(key); ok {
+		return v.(V), true
+	}
+	var zero V
+	return zero, false
+}
+
+// Insert publishes the object for key and returns the table's winner: v
+// itself, or the object another goroutine published first. Callers create
+// the object optimistically after a failed Lookup; a losing duplicate was
+// never visible to any process, so discarding it is safe.
+func (t *LazyTable[V]) Insert(key uint64, v V) V {
+	if t.serial {
+		if key == 0 {
+			if t.hasZero {
+				return t.zeroVal
+			}
+			t.zeroVal, t.hasZero = v, true
+			return v
+		}
+		if 4*(t.used+1) > 3*len(t.slots) {
+			t.grow()
+		}
+		mask := uint64(len(t.slots) - 1)
+		for i := t.hash(key); ; i = (i + 1) & mask {
+			s := &t.slots[i]
+			if s.key == key {
+				return s.val
+			}
+			if s.key == 0 {
+				s.key, s.val = key, v
+				t.used++
+				return v
+			}
+		}
+	}
+	if w, loaded := t.m.LoadOrStore(key, v); loaded {
+		return w.(V)
+	}
+	t.n.Add(1)
+	return v
+}
+
+// grow doubles the serial table and rehashes every entry.
+func (t *LazyTable[V]) grow() {
+	old := t.slots
+	t.slots = make([]lazySlot[V], 2*len(old))
+	t.shift--
+	mask := uint64(len(t.slots) - 1)
+	for _, s := range old {
+		if s.key == 0 {
+			continue
+		}
+		i := t.hash(s.key)
+		for t.slots[i].key != 0 {
+			i = (i + 1) & mask
+		}
+		t.slots[i] = s
+	}
+}
+
+// Len returns the number of objects created so far (a space probe).
+func (t *LazyTable[V]) Len() int {
+	if t.serial {
+		n := t.used
+		if t.hasZero {
+			n++
+		}
+		return n
+	}
+	return int(t.n.Load())
+}

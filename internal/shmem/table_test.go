@@ -1,0 +1,109 @@
+package shmem
+
+import (
+	"sync"
+	"testing"
+)
+
+// serialMem is a minimal Serial Mem for table tests.
+type serialMem struct{ Native }
+
+func (*serialMem) SerialMem() {}
+
+func tables(t *testing.T) map[string]*LazyTable[int] {
+	t.Helper()
+	return map[string]*LazyTable[int]{
+		"serial":     NewLazyTable[int](&serialMem{}),
+		"concurrent": NewLazyTable[int](NewNative(1)),
+	}
+}
+
+func TestLazyTableBasic(t *testing.T) {
+	for name, tab := range tables(t) {
+		t.Run(name, func(t *testing.T) {
+			if _, ok := tab.Lookup(42); ok {
+				t.Fatal("lookup on empty table hit")
+			}
+			if got := tab.Insert(42, 7); got != 7 {
+				t.Fatalf("insert returned %d, want 7", got)
+			}
+			if got := tab.Insert(42, 9); got != 7 {
+				t.Fatalf("duplicate insert returned %d, want first value 7", got)
+			}
+			if v, ok := tab.Lookup(42); !ok || v != 7 {
+				t.Fatalf("lookup = %d,%v, want 7,true", v, ok)
+			}
+			// Key zero is legal (BFS index 0, wire 0, ...).
+			if _, ok := tab.Lookup(0); ok {
+				t.Fatal("zero key present before insert")
+			}
+			tab.Insert(0, 11)
+			if v, ok := tab.Lookup(0); !ok || v != 11 {
+				t.Fatalf("zero-key lookup = %d,%v, want 11,true", v, ok)
+			}
+			if tab.Len() != 2 {
+				t.Fatalf("Len = %d, want 2", tab.Len())
+			}
+		})
+	}
+}
+
+// TestLazyTableGrowth pushes the serial open-addressing table through many
+// doublings and checks every entry survives each rehash.
+func TestLazyTableGrowth(t *testing.T) {
+	for name, tab := range tables(t) {
+		t.Run(name, func(t *testing.T) {
+			const n = 10_000
+			for i := uint64(1); i <= n; i++ {
+				tab.Insert(i*0x9E3779B9, int(i))
+			}
+			if tab.Len() != n {
+				t.Fatalf("Len = %d, want %d", tab.Len(), n)
+			}
+			for i := uint64(1); i <= n; i++ {
+				v, ok := tab.Lookup(i * 0x9E3779B9)
+				if !ok || v != int(i) {
+					t.Fatalf("key %d: got %d,%v", i, v, ok)
+				}
+			}
+		})
+	}
+}
+
+// TestLazyTableConcurrent hammers the concurrent path from many goroutines:
+// every racer for a key must observe the same winner.
+func TestLazyTableConcurrent(t *testing.T) {
+	tab := NewLazyTable[int](NewNative(1))
+	const (
+		workers = 8
+		keys    = 500
+	)
+	winners := make([][]int, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			winners[w] = make([]int, keys)
+			for k := 0; k < keys; k++ {
+				if v, ok := tab.Lookup(uint64(k)); ok {
+					winners[w][k] = v
+				} else {
+					winners[w][k] = tab.Insert(uint64(k), w*keys+k)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if tab.Len() != keys {
+		t.Fatalf("Len = %d, want %d", tab.Len(), keys)
+	}
+	for k := 0; k < keys; k++ {
+		want, _ := tab.Lookup(uint64(k))
+		for w := 0; w < workers; w++ {
+			if winners[w][k] != want {
+				t.Fatalf("key %d: worker %d observed %d, table holds %d", k, w, winners[w][k], want)
+			}
+		}
+	}
+}

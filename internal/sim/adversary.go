@@ -2,14 +2,29 @@ package sim
 
 import "repro/internal/rng"
 
-// RoundRobin schedules ready processes cyclically. It is the "fair"
-// reference schedule: every process advances at the same rate.
+// RoundRobin schedules ready processes cyclically, granting each a burst of
+// Burst consecutive steps (≤ 1 means the classic one-step-at-a-time fair
+// schedule). It is the "fair" reference schedule: every process advances at
+// the same rate.
 type RoundRobin struct {
+	// Burst is the number of consecutive steps granted per turn.
+	Burst  int
 	cursor int
 }
 
-// NewRoundRobin returns a fair cyclic adversary.
+// NewRoundRobin returns a fair cyclic adversary (one step per turn).
 func NewRoundRobin() *RoundRobin { return &RoundRobin{} }
+
+// NewRoundRobinBurst returns a fair cyclic adversary that grants each ready
+// process burst consecutive steps per turn. The schedule it produces is
+// identical to re-choosing the same process burst times in a row, but the
+// steps inside a burst run without re-entering the scheduler.
+func NewRoundRobinBurst(burst int) *RoundRobin {
+	if burst < 1 {
+		burst = 1
+	}
+	return &RoundRobin{Burst: burst}
+}
 
 // Choose picks the next ready process at or after the cursor.
 func (a *RoundRobin) Choose(v *View) Decision {
@@ -18,11 +33,14 @@ func (a *RoundRobin) Choose(v *View) Decision {
 		p := (a.cursor + i) % k
 		if v.Ready[p] {
 			a.cursor = p + 1
-			return Decision{Proc: p}
+			return Decision{Proc: p, Burst: a.Burst}
 		}
 	}
 	panic("sim: RoundRobin called with no ready process")
 }
+
+// NeverCrashes marks the schedule for the single-ready fast path.
+func (*RoundRobin) NeverCrashes() {}
 
 // Random schedules a uniformly random ready process. Deterministic given its
 // seed; models an arbitrary (non-adaptive) interleaving.
@@ -35,7 +53,9 @@ func NewRandom(seed uint64) *Random {
 	return &Random{rng: rng.New(seed)}
 }
 
-// Choose samples uniformly among ready processes.
+// Choose samples uniformly among ready processes. The selection is
+// bit-identical to scanning Ready for the idx-th set entry; the ready
+// bitmap just finds it with popcount arithmetic.
 func (a *Random) Choose(v *View) Decision {
 	k := len(v.Ready)
 	if v.NumReady > k/4 {
@@ -47,36 +67,37 @@ func (a *Random) Choose(v *View) Decision {
 			}
 		}
 	}
-	idx := a.rng.Intn(v.NumReady)
-	for p, ok := range v.Ready {
-		if !ok {
-			continue
-		}
-		if idx == 0 {
-			return Decision{Proc: p}
-		}
-		idx--
-	}
-	panic("sim: Random ready-set accounting mismatch")
+	return Decision{Proc: v.nthReady(a.rng.Intn(v.NumReady))}
 }
+
+// NeverCrashes marks the schedule for the single-ready fast path.
+func (*Random) NeverCrashes() {}
 
 // Sequential runs the lowest-numbered ready process until it finishes, then
 // the next. It produces fully serialized executions — the schedule under
 // which adaptive algorithms see contention arrive one process at a time.
+//
+// It is implemented on bursts: choosing the lowest ready process again after
+// every single step always re-picks the same process, so each choice grants
+// MaxBurst and the process runs to completion without re-entering the
+// scheduler. The schedule (and trace) is unchanged.
 type Sequential struct{}
 
 // NewSequential returns the serializing adversary.
 func NewSequential() *Sequential { return &Sequential{} }
 
-// Choose picks the lowest-numbered ready process.
+// Choose picks the lowest-numbered ready process and runs it to completion.
 func (Sequential) Choose(v *View) Decision {
 	for p, ok := range v.Ready {
 		if ok {
-			return Decision{Proc: p}
+			return Decision{Proc: p, Burst: MaxBurst}
 		}
 	}
 	panic("sim: Sequential called with no ready process")
 }
+
+// NeverCrashes marks the schedule for the single-ready fast path.
+func (Sequential) NeverCrashes() {}
 
 // AntiCoin is a strong-adversary heuristic: it preferentially schedules the
 // ready process whose most recent coin flip was 0, starving processes whose
@@ -112,6 +133,9 @@ func (a *AntiCoin) Choose(v *View) Decision {
 	}
 }
 
+// NeverCrashes marks the schedule for the single-ready fast path.
+func (*AntiCoin) NeverCrashes() {}
+
 // Laggard keeps one victim process maximally behind: it schedules everyone
 // else first and lets the victim move only when it is the sole ready
 // process. Combined with crash injection it reproduces the worst cases of
@@ -141,6 +165,9 @@ func (a *Laggard) Choose(v *View) Decision {
 	}
 	return Decision{Proc: a.Victim}
 }
+
+// NeverCrashes marks the schedule for the single-ready fast path.
+func (*Laggard) NeverCrashes() {}
 
 // Replay drives the schedule from an explicit list of process indices: at
 // each step it schedules Script[i] if ready, otherwise the lowest-numbered
@@ -175,13 +202,21 @@ func (a *Replay) Choose(v *View) Decision {
 	return a.rr.Choose(v)
 }
 
+// NeverCrashes marks the schedule for the single-ready fast path.
+func (*Replay) NeverCrashes() {}
+
 // Oscillator alternates bursts: it runs one process for Burst consecutive
 // steps, then switches to the next ready process. Burstiness exposes
 // protocols that implicitly assume interleaved progress.
+//
+// It is implemented on burst grants: Choose rotates to the next ready
+// process and grants the whole burst at once, so the scheduler is entered
+// once per burst instead of once per step. The schedule is identical to the
+// step-at-a-time implementation: a process loses its turn early only by
+// finishing, which ends a granted burst early too.
 type Oscillator struct {
 	Burst   int
 	current int
-	left    int
 }
 
 // NewOscillator returns a bursty adversary with the given burst length.
@@ -192,27 +227,31 @@ func NewOscillator(burst int) *Oscillator {
 	return &Oscillator{Burst: burst}
 }
 
-// Choose keeps scheduling the current process until its burst ends or it
-// stops being ready, then rotates.
+// Choose rotates to the next ready process and grants it a full burst.
 func (a *Oscillator) Choose(v *View) Decision {
-	if a.left > 0 && v.Ready[a.current] {
-		a.left--
-		return Decision{Proc: a.current}
-	}
 	k := len(v.Ready)
 	for i := 1; i <= k; i++ {
 		p := (a.current + i) % k
 		if v.Ready[p] {
 			a.current = p
-			a.left = a.Burst - 1
-			return Decision{Proc: p}
+			return Decision{Proc: p, Burst: a.Burst}
 		}
 	}
 	panic("sim: Oscillator called with no ready process")
 }
 
+// NeverCrashes marks the schedule for the single-ready fast path.
+func (*Oscillator) NeverCrashes() {}
+
 // CrashPlan wraps an adversary and crashes selected processes the first time
-// they are scheduled at or after a given global clock value.
+// they are scheduled at or after a given global clock value. It deliberately
+// does not implement NonCrashing: the scheduler must keep consulting it even
+// when a single process remains, so planned crashes still fire.
+//
+// Burst grants from the inner adversary are expanded into one decision per
+// step so the plan is checked at every step boundary, exactly as it was
+// against a step-at-a-time schedule; crash runs trade the burst speedup for
+// faithful crash timing.
 type CrashPlan struct {
 	Inner Adversary
 	// At maps process id to the clock value at (or after) which its next
@@ -220,6 +259,8 @@ type CrashPlan struct {
 	At map[int]uint64
 
 	crashed map[int]bool
+	cur     int // process of the inner burst being expanded
+	left    int // remaining steps of that burst
 }
 
 // NewCrashPlan wraps inner with scheduled crashes.
@@ -230,10 +271,24 @@ func NewCrashPlan(inner Adversary, at map[int]uint64) *CrashPlan {
 // Choose delegates to the inner adversary and converts the chosen step into
 // a crash when the plan says so.
 func (a *CrashPlan) Choose(v *View) Decision {
+	if a.left > 0 && v.Ready[a.cur] {
+		a.left--
+		return a.maybeCrash(v, Decision{Proc: a.cur})
+	}
+	a.left = 0 // burst ended (exhausted, or the process finished or crashed)
 	d := a.Inner.Choose(v)
+	if d.Burst > 1 {
+		a.cur, a.left = d.Proc, d.Burst-1
+		d.Burst = 0
+	}
+	return a.maybeCrash(v, d)
+}
+
+func (a *CrashPlan) maybeCrash(v *View, d Decision) Decision {
 	if t, ok := a.At[d.Proc]; ok && v.Clock >= t && !a.crashed[d.Proc] {
 		a.crashed[d.Proc] = true
 		d.Crash = true
+		a.left = 0 // the crash consumes the rest of the expanded burst
 	}
 	return d
 }

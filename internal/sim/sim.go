@@ -2,10 +2,10 @@
 // under a strong adaptive adversary, the execution model of Section 2 of the
 // paper.
 //
-// Each simulated process runs in its own goroutine, but the goroutines
-// advance in lock-step: before every shared-memory operation a process
-// yields to the scheduler, and a pluggable Adversary chooses which process
-// performs the next step. This gives
+// Each simulated process runs in its own coroutine (iter.Pull), and the
+// coroutines advance in lock-step: before every shared-memory operation a
+// process yields to the scheduler, and a pluggable Adversary chooses which
+// process performs the next step. This gives
 //
 //   - exactly the sequentially-consistent interleavings of the asynchronous
 //     shared-memory model (one atomic register operation at a time),
@@ -16,13 +16,31 @@
 //   - deterministic replay: a (seed, adversary) pair fully determines the
 //     execution.
 //
-// All inter-process data flows through the yield/grant channel pair, so the
-// scheduler serializes every access to simulated registers; plain fields are
-// safe under the Go memory model.
+// # Scheduler fast paths
+//
+// The hot path is engineered to keep one simulated step close to the cost of
+// one coroutine switch (see BENCHMARKS.md):
+//
+//   - Steps transfer control with direct coroutine switches (iter.Pull)
+//     instead of channel park/unpark pairs, which keeps the Go scheduler out
+//     of the loop entirely; exactly one goroutine is runnable at any time, so
+//     the simulation is single-threaded and race-free by construction.
+//   - An adversary may grant a process a burst of consecutive steps
+//     (Decision.Burst); steps inside a burst are consumed inline by the
+//     process with no scheduler entry at all.
+//   - When a single live process remains and the adversary is declared
+//     NonCrashing, its decisions are forced; the scheduler grants the
+//     remainder of the run (up to the step cap) as one burst.
+//
+// All fast paths preserve the execution bit for bit: for a fixed
+// (seed, adversary) the trace and the per-process step counts are identical
+// to the plain one-decision-per-step schedule.
 package sim
 
 import (
 	"fmt"
+	"iter"
+	"math/bits"
 
 	"repro/internal/rng"
 	"repro/internal/shmem"
@@ -38,6 +56,8 @@ type View struct {
 	// NumReady is the number of true entries in Ready.
 	NumReady int
 	// Pending[i] is the operation process i will perform when scheduled.
+	// During a burst the process does not stop to re-publish intermediate
+	// operations; the entry is refreshed at its next step boundary.
 	Pending []shmem.Op
 	// LastCoin[i] is the most recent value returned by process i's Coin.
 	LastCoin []uint64
@@ -45,21 +65,82 @@ type View struct {
 	Steps []uint64
 	// Clock is the global step index.
 	Clock uint64
+
+	// bits mirrors Ready as a bitmap, one bit per process, maintained by
+	// the scheduler. It lets schedules select among ready processes with
+	// popcount arithmetic instead of scanning Ready.
+	bits []uint64
 }
+
+// nthReady returns the index of the idx-th ready process in increasing
+// process order (idx < NumReady), using the ready bitmap.
+func (v *View) nthReady(idx int) int {
+	for w, word := range v.bits {
+		if n := bits.OnesCount64(word); idx >= n {
+			idx -= n
+			continue
+		}
+		for ; ; idx-- {
+			b := bits.TrailingZeros64(word)
+			if idx == 0 {
+				return w<<6 + b
+			}
+			word &^= 1 << b
+		}
+	}
+	panic("sim: ready bitmap out of sync with NumReady")
+}
+
+// firstReady returns the index of the lowest-numbered ready process, or -1.
+func (v *View) firstReady() int {
+	for w, word := range v.bits {
+		if word != 0 {
+			return w<<6 + bits.TrailingZeros64(word)
+		}
+	}
+	return -1
+}
+
+func (v *View) setReady(i int)   { v.bits[i>>6] |= 1 << (i & 63) }
+func (v *View) clearReady(i int) { v.bits[i>>6] &^= 1 << (i & 63) }
+
+// MaxBurst is an effectively unbounded burst length: the scheduler clamps
+// every grant to the remaining step budget, and re-consulting the adversary
+// after 2^31−1 consecutive steps of the same process is free for any
+// schedule whose choice is stable (the adversary is simply asked again).
+const MaxBurst = 1<<31 - 1
 
 // Decision is the adversary's scheduling choice.
 type Decision struct {
 	// Proc is the process to schedule; View.Ready[Proc] must be true.
 	Proc int
 	// Crash, if set, crashes the process instead of letting it take the
-	// step. A crashed process never takes another step.
+	// step. A crashed process never takes another step. Crash takes
+	// precedence over Burst.
 	Crash bool
+	// Burst grants the process up to Burst consecutive steps without
+	// re-entering the scheduler (values ≤ 1 grant a single step). Opting
+	// into bursts trades adversary power for speed: the intermediate step
+	// boundaries are not observed, and the process cannot be crashed or
+	// preempted until the burst ends. The scheduler clamps the grant to the
+	// remaining step budget, and the burst ends early if the process
+	// finishes. Use MaxBurst to run a process until it finishes.
+	Burst int
 }
 
 // Adversary chooses the schedule (and failures) of an execution.
 // Implementations must be deterministic to make runs replayable.
 type Adversary interface {
 	Choose(v *View) Decision
+}
+
+// NonCrashing is an optional marker for adversaries that never set
+// Decision.Crash. When the adversary implements it, the scheduler takes the
+// single-ready fast path: once one live process remains every decision is
+// forced, so the rest of the run is granted as one burst without consulting
+// the adversary again. Crash-injecting adversaries must not implement it.
+type NonCrashing interface {
+	NeverCrashes()
 }
 
 // TraceEvent describes one scheduling decision, delivered to a WithTrace
@@ -83,14 +164,36 @@ type Runtime struct {
 	trace   func(TraceEvent)
 
 	clock    uint64
-	events   chan event
-	procs    []*proc
 	view     View
+	procs    []proc
+	crashed  []bool
+	regChunk []reg // amortizes simulated-register allocation
+	noCrash  bool
+	aborting bool
+	// draining is true during the startup drain, when the ready set is not
+	// yet complete and yielding processes must not run the decision logic.
+	draining bool
+	// pending holds a decision made by a yielding process for another
+	// process (see proc.Step): the scheduler executes it instead of
+	// deciding again.
+	pending    Decision
+	hasPending bool
+	// panicVal records the first body panic. Exactly one coroutine runs at
+	// a time (the scheduler blocks inside next while a process runs), so
+	// recording it needs no lock — unlike the former goroutine runtime,
+	// where processes panicking before their first step raced on it.
 	panicVal any
 	used     bool
 }
 
 var _ shmem.Runtime = (*Runtime)(nil)
+var _ shmem.Serial = (*Runtime)(nil)
+
+// SerialMem marks the simulator as single-threaded: exactly one process
+// coroutine (or the scheduler) runs at any moment, so objects allocated
+// from this runtime are goroutine-confined and their bookkeeping needs no
+// locks (see shmem.Serial).
+func (r *Runtime) SerialMem() {}
 
 // Option configures a Runtime.
 type Option func(*Runtime)
@@ -103,7 +206,9 @@ func WithStepCap(cap uint64) Option {
 }
 
 // WithTrace registers an observer invoked synchronously on every scheduling
-// decision — the execution transcript (cmd/renametrace prints it).
+// decision — the execution transcript (cmd/renametrace prints it). Steps
+// taken inside a burst are reported one event each, identical to the events
+// a one-step-at-a-time schedule would produce.
 func WithTrace(fn func(TraceEvent)) Option {
 	return func(r *Runtime) { r.trace = fn }
 }
@@ -121,24 +226,26 @@ func New(seed uint64, adv Adversary, opts ...Option) *Runtime {
 	return r
 }
 
+// newReg hands out registers from a chunk: protocol objects allocate
+// registers in droves (three per two-process TAS), and runs that lazily
+// build their object graph would otherwise pay one tiny allocation each.
+// Chunks are abandoned to the taken pointers once used up, so registers
+// live exactly as long as their objects.
+func (r *Runtime) newReg(init uint64) *reg {
+	if len(r.regChunk) == 0 {
+		r.regChunk = make([]reg, 64)
+	}
+	rg := &r.regChunk[0]
+	r.regChunk = r.regChunk[1:]
+	rg.v = init
+	return rg
+}
+
 // NewReg allocates a simulated register.
-func (r *Runtime) NewReg(init uint64) shmem.Reg { return &reg{rt: r, v: init} }
+func (r *Runtime) NewReg(init uint64) shmem.Reg { return r.newReg(init) }
 
 // NewCASReg allocates a simulated register with unit-cost CAS.
-func (r *Runtime) NewCASReg(init uint64) shmem.CASReg { return &reg{rt: r, v: init} }
-
-type evKind uint8
-
-const (
-	evYield evKind = iota
-	evDone
-	evCrashed
-)
-
-type event struct {
-	proc int
-	kind evKind
-}
+func (r *Runtime) NewCASReg(init uint64) shmem.CASReg { return r.newReg(init) }
 
 type crashSentinel struct{}
 
@@ -149,83 +256,77 @@ func (r *Runtime) Run(k int, body func(p shmem.Proc)) *shmem.Stats {
 		panic("sim: Runtime.Run called twice; allocate a fresh Runtime per run")
 	}
 	r.used = true
-	r.events = make(chan event, k)
-	r.procs = make([]*proc, k)
+	r.procs = make([]proc, k)
+	r.crashed = make([]bool, k)
+	nw := (k + 63) / 64
+	u := make([]uint64, 2*k+nw) // one backing array for the uint64 columns
 	r.view = View{
 		Ready:    make([]bool, k),
 		Pending:  make([]shmem.Op, k),
-		LastCoin: make([]uint64, k),
-		Steps:    make([]uint64, k),
+		LastCoin: u[:k:k],
+		Steps:    u[k : 2*k : 2*k],
+		bits:     u[2*k:],
+	}
+	_, r.noCrash = r.adv.(NonCrashing)
+
+	for i := range r.procs {
+		p := &r.procs[i]
+		p.id = i
+		p.rt = r
+		p.rng = *rng.Derive(r.seed, uint64(i))
+		p.next, p.stop = iter.Pull(func(yield func(struct{}) bool) {
+			p.yield = yield
+			defer p.finish()
+			body(p)
+		})
 	}
 
-	for i := 0; i < k; i++ {
-		r.procs[i] = &proc{
-			id:     i,
-			rt:     r,
-			rng:    rng.Derive(r.seed, uint64(i)),
-			resume: make(chan bool),
-		}
+	// Startup drain: advance every process to its first step boundary (or
+	// to completion) once. The scheduler loop below never re-drains; each
+	// decision resumes exactly one coroutine and waits for its next yield.
+	r.draining = true
+	for i := range r.procs {
+		r.procs[i].next()
 	}
-	for i := 0; i < k; i++ {
-		go r.procs[i].run(body)
+	r.draining = false
+
+	for r.view.NumReady > 0 {
+		var d Decision
+		if r.hasPending {
+			// A yielding process already ran the decision logic and chose
+			// another process; execute that decision instead of deciding
+			// again (decisions for the yielder itself never reach here).
+			d, r.hasPending = r.pending, false
+		} else {
+			d = r.decide()
+		}
+		p := &r.procs[d.Proc]
+		r.view.Ready[d.Proc] = false
+		r.view.clearReady(d.Proc)
+		r.view.NumReady--
+		if d.Crash {
+			if r.trace != nil {
+				r.trace(TraceEvent{
+					Clock: r.clock,
+					Proc:  d.Proc,
+					Op:    r.view.Pending[d.Proc],
+					Crash: true,
+				})
+			}
+			p.stop() // pending yield returns false; the process unwinds
+			continue
+		}
+		p.burst = r.grantBurst(d) - 1
+		p.next()
 	}
 
 	st := &shmem.Stats{
-		PerProc: make([]shmem.OpCounts, k),
-		Crashed: make([]bool, k),
+		PerProc:    make([]shmem.OpCounts, k),
+		Crashed:    r.crashed,
+		StepCapHit: r.aborting,
 	}
-	running := k
-	done := 0
-	aborting := false
-	for done < k {
-		// Wait until every live process is parked at a step boundary (or
-		// finished); only then is the ready set well defined.
-		for running > 0 {
-			e := <-r.events
-			switch e.kind {
-			case evYield:
-				r.view.Ready[e.proc] = true
-				r.view.NumReady++
-			case evDone:
-				done++
-			case evCrashed:
-				done++
-				st.Crashed[e.proc] = true
-			}
-			running--
-		}
-		if r.view.NumReady == 0 {
-			break // every process finished
-		}
-		if r.clock >= r.stepCap {
-			aborting = true
-		}
-		var d Decision
-		if aborting {
-			d = Decision{Proc: firstReady(r.view.Ready), Crash: true}
-		} else {
-			r.view.Clock = r.clock
-			d = r.adv.Choose(&r.view)
-			if d.Proc < 0 || d.Proc >= k || !r.view.Ready[d.Proc] {
-				panic(fmt.Sprintf("sim: adversary chose non-ready process %d", d.Proc))
-			}
-		}
-		if r.trace != nil {
-			r.trace(TraceEvent{
-				Clock: r.clock,
-				Proc:  d.Proc,
-				Op:    r.view.Pending[d.Proc],
-				Crash: d.Crash,
-			})
-		}
-		r.view.Ready[d.Proc] = false
-		r.view.NumReady--
-		running++
-		r.procs[d.Proc].resume <- d.Crash
-	}
-	st.StepCapHit = aborting
-	for i, p := range r.procs {
-		st.PerProc[i] = p.counts
+	for i := range r.procs {
+		st.PerProc[i] = r.procs[i].counts
 	}
 	if r.panicVal != nil {
 		panic(r.panicVal)
@@ -233,41 +334,68 @@ func (r *Runtime) Run(k int, body func(p shmem.Proc)) *shmem.Stats {
 	return st
 }
 
-func firstReady(ready []bool) int {
-	for i, ok := range ready {
-		if ok {
-			return i
+// decide produces the next scheduling decision. It may run on the scheduler
+// or on the currently active (yielding) process coroutine — the two are
+// never active at once, and the View they see at a step boundary is
+// identical.
+func (r *Runtime) decide() Decision {
+	if r.clock >= r.stepCap {
+		r.aborting = true
+	}
+	switch {
+	case r.aborting:
+		return Decision{Proc: r.view.firstReady(), Crash: true}
+	case r.view.NumReady == 1 && r.noCrash:
+		// Single-ready fast path: every live process is parked at a step
+		// boundary whenever a decision is made, so one ready process means
+		// one live process — every remaining decision is forced. Grant the
+		// rest of the run as a single burst.
+		return Decision{Proc: r.view.firstReady(), Burst: MaxBurst}
+	}
+	r.view.Clock = r.clock
+	d := r.adv.Choose(&r.view)
+	if d.Proc < 0 || d.Proc >= len(r.procs) || !r.view.Ready[d.Proc] {
+		panic(fmt.Sprintf("sim: adversary chose non-ready process %d", d.Proc))
+	}
+	return d
+}
+
+// grantBurst clamps a non-crash decision's burst to the remaining step
+// budget and returns the number of steps granted (≥ 1).
+func (r *Runtime) grantBurst(d Decision) uint64 {
+	burst := uint64(1)
+	if d.Burst > 1 {
+		burst = uint64(d.Burst)
+	}
+	if rem := r.stepCap - r.clock; burst > rem {
+		burst = rem // clock < stepCap when granting, so rem ≥ 1
+	}
+	return burst
+}
+
+// proc implements shmem.Proc for the simulator. Each proc is a pull
+// coroutine: next resumes it until its next step boundary, stop crashes it.
+type proc struct {
+	id     int
+	rt     *Runtime
+	burst  uint64 // pre-authorized steps beyond the granted one
+	rng    rng.SplitMix64
+	yield  func(struct{}) bool
+	next   func() (struct{}, bool)
+	stop   func()
+	counts shmem.OpCounts
+}
+
+// finish runs as the coroutine body's deferred epilogue: it classifies the
+// exit (return, crash, panic) and records it. The scheduler is blocked in
+// next or stop while it runs, so no lock is needed.
+func (p *proc) finish() {
+	if v := recover(); v != nil {
+		p.rt.crashed[p.id] = true
+		if _, ok := v.(crashSentinel); !ok && p.rt.panicVal == nil {
+			p.rt.panicVal = v
 		}
 	}
-	return -1
-}
-
-// proc implements shmem.Proc for the simulator.
-type proc struct {
-	id      int
-	rt      *Runtime
-	rng     *rng.SplitMix64
-	resume  chan bool
-	counts  shmem.OpCounts
-	crashed bool
-}
-
-func (p *proc) run(body func(shmem.Proc)) {
-	defer func() {
-		if v := recover(); v != nil {
-			if _, ok := v.(crashSentinel); ok {
-				p.rt.events <- event{p.id, evCrashed}
-				return
-			}
-			if p.rt.panicVal == nil {
-				p.rt.panicVal = v
-			}
-			p.rt.events <- event{p.id, evCrashed}
-			return
-		}
-		p.rt.events <- event{p.id, evDone}
-	}()
-	body(p)
 }
 
 func (p *proc) ID() int { return p.id }
@@ -282,14 +410,60 @@ func (p *proc) Coin(n uint64) uint64 {
 }
 
 func (p *proc) Step(op shmem.Op) {
-	p.rt.view.Pending[p.id] = op
-	p.rt.events <- event{p.id, evYield}
-	if crash := <-p.resume; crash {
-		panic(crashSentinel{})
+	if p.burst > 0 {
+		// Pre-authorized by the current burst grant: take the step inline
+		// without entering the scheduler.
+		p.burst--
+		p.account(op)
+		return
+	}
+	r := p.rt
+	r.view.Pending[p.id] = op
+	r.view.Ready[p.id] = true
+	r.view.setReady(p.id)
+	r.view.NumReady++
+	// Self-decision fast path: outside the startup drain this coroutine is
+	// the only active one, so it can run the decision logic itself. When
+	// the schedule picks this very process again (always in the solo phase,
+	// with probability 1/ready under uniform schedules, every time under
+	// Sequential), the step proceeds inline with no coroutine switch at
+	// all. A decision for another process is handed to the scheduler, which
+	// executes it without deciding twice.
+	if !r.draining {
+		d := r.decide()
+		if d.Proc == p.id {
+			r.view.Ready[p.id] = false
+			r.view.clearReady(p.id)
+			r.view.NumReady--
+			if d.Crash {
+				if r.trace != nil {
+					r.trace(TraceEvent{Clock: r.clock, Proc: p.id, Op: op, Crash: true})
+				}
+				panic(crashSentinel{})
+			}
+			p.burst = r.grantBurst(d) - 1
+			p.account(op)
+			return
+		}
+		r.pending, r.hasPending = d, true
+	}
+	if !p.yield(struct{}{}) {
+		panic(crashSentinel{}) // scheduler called stop: crash decision
+	}
+	p.account(op)
+}
+
+// account records one granted step. It runs while this process is the only
+// active coroutine, so it may touch runtime state freely; the trace event it
+// emits is identical to the one a per-step schedule would produce.
+func (p *proc) account(op shmem.Op) {
+	r := p.rt
+	if r.trace != nil {
+		r.trace(TraceEvent{Clock: r.clock, Proc: p.id, Op: op})
 	}
 	p.counts.Ops[op]++
-	p.rt.view.Steps[p.id]++
-	p.rt.clock++
+	r.view.Steps[p.id]++
+	r.clock++
 }
 
 func (p *proc) Note(ev shmem.Event) {
@@ -304,24 +478,34 @@ func (p *proc) StepsTaken() uint64 { return p.counts.Steps() }
 
 // reg is a simulated atomic register. The scheduler serializes all accesses
 // (the owning process performs the memory access inside its granted slot),
-// so plain fields suffice.
+// so a plain field suffices.
 type reg struct {
-	rt *Runtime
-	v  uint64
+	v uint64
+}
+
+// step devirtualizes the Proc on the register hot path: registers from this
+// runtime are driven by its own procs in every valid program, and the direct
+// call is measurably cheaper than the interface dispatch.
+func step(p shmem.Proc, op shmem.Op) {
+	if sp, ok := p.(*proc); ok {
+		sp.Step(op)
+		return
+	}
+	p.Step(op)
 }
 
 func (r *reg) Read(p shmem.Proc) uint64 {
-	p.Step(shmem.OpRead)
+	step(p, shmem.OpRead)
 	return r.v
 }
 
 func (r *reg) Write(p shmem.Proc, v uint64) {
-	p.Step(shmem.OpWrite)
+	step(p, shmem.OpWrite)
 	r.v = v
 }
 
 func (r *reg) CompareAndSwap(p shmem.Proc, old, new uint64) bool {
-	p.Step(shmem.OpCAS)
+	step(p, shmem.OpCAS)
 	if r.v == old {
 		r.v = new
 		return true

@@ -1,6 +1,9 @@
 package sortnet
 
-import "fmt"
+import (
+	"fmt"
+	"sync"
+)
 
 // Part labels the region of the adaptive construction a comparator lives in.
 type Part uint8
@@ -21,6 +24,14 @@ type Comp struct {
 	Part  Part
 	Stage int
 	Low   uint64 // global index of the comparator's upper (min) wire
+}
+
+// Key packs the comparator identity into one word for use as a map key on
+// the renaming hot path (hashing a uint64 is several times cheaper than
+// hashing the 32-byte struct). Level < 8 levels (width 2^32 after five),
+// Part < 4, Stage < 2^16 (depth of the widest base is 528), Low < 2^33.
+func (c Comp) Key() uint64 {
+	return uint64(c.Level)<<61 | uint64(c.Part)<<59 | uint64(c.Stage)<<40 | c.Low
 }
 
 // Base selects the sorting network used for the A and C layers of every
@@ -91,8 +102,22 @@ func NewAdaptive(maxWire uint64) *Adaptive {
 	return NewAdaptiveWithBase(maxWire, BaseOEM)
 }
 
+var sharedAdaptive = [2]func() *Adaptive{
+	sync.OnceValue(func() *Adaptive { return NewAdaptiveWithBase(MaxAdaptiveWire, BaseOEM) }),
+	sync.OnceValue(func() *Adaptive { return NewAdaptiveWithBase(MaxAdaptiveWire, BaseBalanced) }),
+}
+
+// SharedAdaptive returns a process-wide shared instance of the full-width
+// (2^32-wire) adaptive network for the given base. An Adaptive is immutable
+// after construction and Walk keeps no state in the network, so one instance
+// serves any number of concurrent renamers; sharing it removes the dominant
+// per-construction allocation (the per-level base networks).
+func SharedAdaptive(base Base) *Adaptive {
+	return sharedAdaptive[base]()
+}
+
 // NewAdaptiveWithBase is NewAdaptive with an explicit base network choice
-// (the DESIGN.md ablation knob).
+// (the ablation knob of BENCHMARKS.md).
 func NewAdaptiveWithBase(maxWire uint64, base Base) *Adaptive {
 	if maxWire > MaxAdaptiveWire {
 		panic(fmt.Sprintf("sortnet: adaptive network supports wires < 2^32, got %d", maxWire))

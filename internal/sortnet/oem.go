@@ -18,8 +18,15 @@ type OEM struct {
 	stages []oemStage
 }
 
+// oemStage holds the (p, k) parameters of one Batcher stage plus their
+// strength-reduced forms: p and k are powers of two, so every division and
+// modulus in the per-stage walk becomes a mask or shift (CompAt sits on the
+// hot path of every adaptive-network traversal).
 type oemStage struct {
-	p, k uint64
+	p, k   uint64
+	base   uint64 // k mod p
+	k2mask uint64 // 2k − 1
+	p2log  uint   // log2(2p)
 }
 
 var _ Walkable = (*OEM)(nil)
@@ -30,9 +37,23 @@ func NewOEM(n uint64) *OEM {
 		panic("sortnet: OEM width must be at least 1")
 	}
 	o := &OEM{n: n}
+	nstages := 0
 	for p := uint64(1); p < n; p *= 2 {
 		for k := p; k >= 1; k /= 2 {
-			o.stages = append(o.stages, oemStage{p: p, k: k})
+			nstages++
+		}
+	}
+	o.stages = make([]oemStage, 0, nstages)
+	p2log := uint(1)
+	for p := uint64(1); p < n; p, p2log = p*2, p2log+1 {
+		for k := p; k >= 1; k /= 2 {
+			o.stages = append(o.stages, oemStage{
+				p:      p,
+				k:      k,
+				base:   k & (p - 1),
+				k2mask: 2*k - 1,
+				p2log:  p2log,
+			})
 		}
 	}
 	return o
@@ -64,14 +85,13 @@ func (o *OEM) CompAt(s int, w uint64) (a, b uint64, ok bool) {
 
 // isLow reports whether wire w is the low end of a stage-(p,k) comparator.
 func (o *OEM) isLow(st oemStage, w uint64) bool {
-	base := st.k % st.p
-	if w < base || (w-base)%(2*st.k) >= st.k {
+	if w < st.base || (w-st.base)&st.k2mask >= st.k {
 		return false
 	}
 	if w+st.k > o.n-1 {
 		return false // partner out of range: comparator dropped (padding)
 	}
-	return w/(2*st.p) == (w+st.k)/(2*st.p)
+	return w>>st.p2log == (w+st.k)>>st.p2log
 }
 
 // OddEvenMergeNet materializes Batcher's network on n wires explicitly.

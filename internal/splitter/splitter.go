@@ -11,8 +11,6 @@
 package splitter
 
 import (
-	"sync"
-
 	"repro/internal/shmem"
 )
 
@@ -64,39 +62,32 @@ func (s *Splitter) Visit(p shmem.Proc, id uint64) Outcome {
 // is 1 and node i has children 2i and 2i+1, so the index of a node at depth
 // d is less than 2^(d+1). Acquiring a node yields the TempName of the paper.
 //
-// The node map is guarded by a mutex. Object allocation is bookkeeping
-// outside the shared-memory model (in the paper the infinite tree exists a
-// priori); no simulated steps are charged for it.
+// Node allocation is bookkeeping outside the shared-memory model (in the
+// paper the infinite tree exists a priori); no simulated steps are charged
+// for it. The node table is unsynchronized on serial runtimes (see
+// shmem.LazyTable).
 type Tree struct {
-	mem shmem.Mem
-
-	mu    sync.Mutex
-	nodes map[uint64]*Splitter
+	mem   shmem.Mem
+	nodes *shmem.LazyTable[*Splitter]
 }
 
 // NewTree allocates an empty splitter tree backed by mem.
 func NewTree(mem shmem.Mem) *Tree {
-	return &Tree{mem: mem, nodes: make(map[uint64]*Splitter)}
+	return &Tree{mem: mem, nodes: shmem.NewLazyTable[*Splitter](mem)}
 }
 
 // node returns the splitter at index idx, allocating it on first use.
 func (t *Tree) node(idx uint64) *Splitter {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	s, ok := t.nodes[idx]
-	if !ok {
-		s = NewSplitter(t.mem)
-		t.nodes[idx] = s
+	if s, ok := t.nodes.Lookup(idx); ok {
+		return s
 	}
-	return s
+	return t.nodes.Insert(idx, NewSplitter(t.mem))
 }
 
 // Size returns the number of allocated splitter nodes (a space-complexity
 // probe for the benchmarks).
 func (t *Tree) Size() int {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	return len(t.nodes)
+	return t.nodes.Len()
 }
 
 // Acquire descends from the root, flipping a fair coin at every non-stop

@@ -1,8 +1,6 @@
 package tas
 
 import (
-	"sync"
-
 	"repro/internal/shmem"
 	"repro/internal/splitter"
 )
@@ -42,8 +40,7 @@ type RatRace struct {
 	fast  *splitter.Splitter
 	final Sided
 
-	mu    sync.Mutex
-	nodes map[uint64]*raceNode
+	nodes *shmem.LazyTable[*raceNode]
 }
 
 // raceNode carries the two tournament TAS objects of one tree node.
@@ -59,7 +56,7 @@ func NewRatRace(mem shmem.Mem, mk SidedMaker) *RatRace {
 		mem:   mem,
 		make:  mk,
 		tree:  splitter.NewTree(mem),
-		nodes: make(map[uint64]*raceNode),
+		nodes: shmem.NewLazyTable[*raceNode](mem),
 	}
 }
 
@@ -74,14 +71,10 @@ func NewRatRaceWithFastPath(mem shmem.Mem, mk SidedMaker) *RatRace {
 }
 
 func (r *RatRace) node(idx uint64) *raceNode {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	n, ok := r.nodes[idx]
-	if !ok {
-		n = &raceNode{children: r.make(r.mem), owner: r.make(r.mem)}
-		r.nodes[idx] = n
+	if n, ok := r.nodes.Lookup(idx); ok {
+		return n
 	}
-	return n
+	return r.nodes.Insert(idx, &raceNode{children: r.make(r.mem), owner: r.make(r.mem)})
 }
 
 // Registers returns the number of allocated splitter nodes, a proxy for the

@@ -12,7 +12,7 @@
 //     two-process TAS objects, with per-process step complexity
 //     polylogarithmic in the contention k.
 //
-// See DESIGN.md ("Substitutions") for how TwoProc relates to the original
+// See the TwoProc comment below for how it relates to the original
 // Tromp–Vitányi protocol.
 package tas
 
@@ -104,9 +104,36 @@ var _ Sided = (*TwoProc)(nil)
 
 // NewTwoProc allocates a two-process TAS from mem.
 func NewTwoProc(mem shmem.Mem) *TwoProc {
-	return &TwoProc{
-		s: [2]shmem.Reg{mem.NewReg(0), mem.NewReg(0)},
-		w: mem.NewCASReg(0),
+	t := &TwoProc{}
+	t.init(mem)
+	return t
+}
+
+func (t *TwoProc) init(mem shmem.Mem) {
+	t.s = [2]shmem.Reg{mem.NewReg(0), mem.NewReg(0)}
+	t.w = mem.NewCASReg(0)
+}
+
+// MakeTwoProcPool returns a register-TAS maker that batch-allocates TwoProc
+// objects in chunks. Renaming runs materialize thousands of comparator
+// objects, and on serial runtimes (the simulator — see shmem.Serial) the
+// maker is called by one goroutine at a time, so the chunk needs no lock.
+// For concurrent runtimes it falls back to plain MakeTwoProc. The objects
+// built are identical to MakeTwoProc's, registers allocated in the same
+// order, so simulated executions are unchanged.
+func MakeTwoProcPool(mem shmem.Mem) SidedMaker {
+	if !shmem.IsSerial(mem) {
+		return MakeTwoProc
+	}
+	var chunk []TwoProc
+	return func(m shmem.Mem) Sided {
+		if len(chunk) == 0 {
+			chunk = make([]TwoProc, 32)
+		}
+		t := &chunk[0]
+		chunk = chunk[1:]
+		t.init(m)
+		return t
 	}
 }
 

@@ -84,17 +84,45 @@ func NewSimTraced(seed uint64, adv Adversary, fn func(TraceEvent)) *SimRuntime {
 	return sim.New(seed, adv, sim.WithTrace(fn))
 }
 
+// NativeOption configures the native runtime.
+type NativeOption = shmem.NativeOption
+
 // NewNative returns the concurrent runtime: real goroutines over
 // sync/atomic registers. Interleavings are up to the Go scheduler; step
-// counts remain exact.
-func NewNative(seed uint64) Runtime {
-	return shmem.NewNative(seed)
+// counts remain exact and are accounted per process without any shared
+// state, so the step hot path is contention-free.
+func NewNative(seed uint64, opts ...NativeOption) Runtime {
+	return shmem.NewNative(seed, opts...)
+}
+
+// WithTimestamps makes the native runtime maintain a shared atomic clock
+// behind Proc.Now, so operation intervals can be compared across processes
+// (the linearizability and monotone-consistency checkers need this). It
+// serializes every step on one cache line — leave it off for benchmarks
+// and production use, where Now reports the process-local step count.
+func WithTimestamps() NativeOption {
+	return shmem.WithTimestamps()
+}
+
+// WithRegisterPadding overrides the native runtime's automatic choice of
+// register layout. By default registers are padded to a cache line each
+// when GOMAXPROCS > 1 (false sharing only exists under real parallelism;
+// on a single P padding just inflates the working set); the knob pins the
+// layout for measurements of either configuration.
+func WithRegisterPadding(on bool) NativeOption {
+	return shmem.WithRegisterPadding(on)
 }
 
 // Schedules for the simulated runtime.
 
 // RoundRobin returns the fair cyclic schedule.
 func RoundRobin() Adversary { return sim.NewRoundRobin() }
+
+// RoundRobinBurst returns the fair cyclic schedule granting each process
+// burst consecutive steps per turn as one scheduler grant. The schedule is
+// identical to re-choosing the process burst times; the steps inside a
+// burst run without re-entering the scheduler (see BENCHMARKS.md).
+func RoundRobinBurst(burst int) Adversary { return sim.NewRoundRobinBurst(burst) }
 
 // RandomSchedule returns a seeded uniformly random schedule.
 func RandomSchedule(seed uint64) Adversary { return sim.NewRandom(seed) }
@@ -132,14 +160,22 @@ func Oscillator(burst int) Adversary { return sim.NewOscillator(burst) }
 type Option func(*options)
 
 type options struct {
-	maker tas.SidedMaker
-	base  sortnet.Base
+	hardware bool
+	base     sortnet.Base
+	maker    tas.SidedMaker
 }
 
-func buildOptions(opts []Option) options {
-	o := options{maker: tas.MakeTwoProc, base: sortnet.BaseOEM}
+func buildOptions(opts []Option, mem Mem) options {
+	o := options{base: sortnet.BaseOEM}
 	for _, f := range opts {
 		f(&o)
+	}
+	if o.hardware {
+		o.maker = tas.MakeUnit
+	} else {
+		// Register-based TAS objects are allocated in droves; the pool maker
+		// batches them on serial (simulator) runtimes.
+		o.maker = tas.MakeTwoProcPool(mem)
 	}
 	return o
 }
@@ -150,20 +186,20 @@ func buildOptions(opts []Option) options {
 // (Section 1, Discussion); it is also the fast choice under the native
 // runtime.
 func WithHardwareTAS() Option {
-	return func(o *options) { o.maker = tas.MakeUnit }
+	return func(o *options) { o.hardware = true }
 }
 
 // WithRegisterTAS makes internal two-process test-and-set objects the
 // randomized register-based protocol with the Tromp–Vitányi cost profile
 // (the default; matches the paper's pure shared-memory model).
 func WithRegisterTAS() Option {
-	return func(o *options) { o.maker = tas.MakeTwoProc }
+	return func(o *options) { o.hardware = false }
 }
 
 // WithBalancedBase builds adaptive sorting networks from the balanced
 // network of Dowd–Perl–Rudolph–Saks instead of Batcher's odd-even
 // mergesort. Same depth exponent (c = 2), different constants — the
-// ablation knob of DESIGN.md.
+// ablation knob of BENCHMARKS.md.
 func WithBalancedBase() Option {
 	return func(o *options) { o.base = sortnet.BaseBalanced }
 }
@@ -173,7 +209,7 @@ func WithBalancedBase() Option {
 // expected test-and-set entries. Each invocation needs a globally unique
 // nonzero uid (process id + 1 for one-shot use).
 func NewRenaming(mem Mem, opts ...Option) *StrongAdaptive {
-	o := buildOptions(opts)
+	o := buildOptions(opts, mem)
 	return core.NewStrongAdaptiveWithBase(mem, splitter.NewTree(mem), o.maker, o.base)
 }
 
@@ -181,7 +217,7 @@ func NewRenaming(mem Mem, opts ...Option) *StrongAdaptive {
 // exactly n names for up to n participants, O(log² n) test-and-set probes
 // per process w.h.p.
 func NewBitBatchingRenaming(mem Mem, n int, opts ...Option) *BitBatching {
-	o := buildOptions(opts)
+	o := buildOptions(opts, mem)
 	return core.NewBitBatching(mem, n, o.maker)
 }
 
@@ -189,13 +225,13 @@ func NewBitBatchingRenaming(mem Mem, n int, opts ...Option) *BitBatching {
 // odd-even mergesort network of width m: initial names must lie in [1, m];
 // the k participants rename into 1..k in depth O(log² m) comparators.
 func NewNetworkRenaming(mem Mem, m int, opts ...Option) *RenamingNetwork {
-	o := buildOptions(opts)
+	o := buildOptions(opts, mem)
 	return core.NewRenamingNetwork(mem, sortnet.OddEvenMergeNet(m), o.maker)
 }
 
 // NewLinearProbeRenaming builds the linear-time baseline renamer.
 func NewLinearProbeRenaming(mem Mem, opts ...Option) *LinearProbe {
-	o := buildOptions(opts)
+	o := buildOptions(opts, mem)
 	return core.NewLinearProbe(mem, o.maker)
 }
 
@@ -205,7 +241,7 @@ func NewLinearProbeRenaming(mem Mem, opts ...Option) *LinearProbe {
 // mutually ordered. Not linearizable — see the package tests for the
 // paper's counterexample.
 func NewCounter(mem Mem, opts ...Option) *Counter {
-	o := buildOptions(opts)
+	o := buildOptions(opts, mem)
 	return core.NewMonotoneCounter(mem, o.maker)
 }
 
@@ -225,7 +261,7 @@ func NewMaxRegister(mem Mem) MaxRegister {
 // NewLTAS builds the linearizable ℓ-test-and-set of Algorithm 1: exactly
 // min(ℓ, callers) invocations return true.
 func NewLTAS(mem Mem, ell uint64, opts ...Option) *LTAS {
-	o := buildOptions(opts)
+	o := buildOptions(opts, mem)
 	return core.NewLTestAndSet(mem, ell, o.maker)
 }
 
@@ -233,7 +269,7 @@ func NewLTAS(mem Mem, ell uint64, opts ...Option) *LTAS {
 // Algorithm 2: the i-th increment returns i (from 0), saturating at m−1,
 // in O(log k · log m) expected steps.
 func NewFetchInc(mem Mem, m uint64, opts ...Option) *FetchInc {
-	o := buildOptions(opts)
+	o := buildOptions(opts, mem)
 	return core.NewFetchInc(mem, m, o.maker)
 }
 
@@ -253,7 +289,7 @@ func NewCountingNetwork(mem Mem, w int) *CountingNetwork {
 // lock-free free-list over the one-shot optimal renamer, not a solution to
 // the open theoretical problem.
 func NewLongLived(mem Mem, opts ...Option) *LongLived {
-	o := buildOptions(opts)
+	o := buildOptions(opts, mem)
 	return core.NewLongLived(mem,
 		core.NewStrongAdaptiveWithBase(mem, splitter.NewTree(mem), o.maker, o.base))
 }

@@ -1,0 +1,54 @@
+#!/usr/bin/env bash
+# bench.sh — run the wall-clock benchmark suite and write BENCH_<n>.json,
+# the machine-readable perf-trajectory record (one file per measurement,
+# numbered consecutively; BENCH_1.json is the record of the scheduler
+# fast-path PR, including its seed baseline).
+#
+# Usage:
+#   scripts/bench.sh                 # next free BENCH_<n>.json, 2s per bench
+#   BENCHTIME=5s scripts/bench.sh    # longer per-benchmark budget
+#   BENCH='BenchmarkStrongAdaptive$' scripts/bench.sh   # subset
+#
+# The experiment tables (renamebench) have their own machine-readable
+# output: go run ./cmd/renamebench -json
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+benchtime="${BENCHTIME:-2s}"
+pattern="${BENCH:-BenchmarkStrongAdaptive\$|BenchmarkStrongAdaptiveHardware|BenchmarkNativeRenaming|BenchmarkNativeCounter}"
+
+n=1
+while [ -e "BENCH_${n}.json" ]; do n=$((n + 1)); done
+out="BENCH_${n}.json"
+
+raw=$(go test -run '^$' -bench "$pattern" -benchtime "$benchtime" .)
+printf '%s\n' "$raw" >&2
+
+{
+	echo '{'
+	echo '  "schema": "bench/v1",'
+	echo "  \"rev\": \"$(git rev-parse --short HEAD 2>/dev/null || echo unknown)\","
+	echo "  \"date\": \"$(date -u +%Y-%m-%dT%H:%M:%SZ)\","
+	echo "  \"go\": \"$(go env GOVERSION)\","
+	echo "  \"cpus\": $(nproc 2>/dev/null || echo 1),"
+	echo "  \"benchtime\": \"${benchtime}\","
+	echo '  "results": ['
+	printf '%s\n' "$raw" | awk '
+		/^Benchmark/ {
+			printf "%s    {\"name\": \"%s\", \"iters\": %s, \"metrics\": {", sep, $1, $2
+			m = ""
+			for (i = 3; i + 1 <= NF; i += 2) {
+				unit = $(i + 1)
+				gsub(/"/, "", unit)
+				m = m sprintf("%s\"%s\": %s", (m == "" ? "" : ", "), unit, $i)
+			}
+			printf "%s}}", m
+			sep = ",\n"
+		}
+		END { print "" }
+	'
+	echo '  ]'
+	echo '}'
+} >"$out"
+
+echo "wrote $out"
