@@ -1,7 +1,15 @@
-// Benchmarks, one per experiment table (see BENCHMARKS.md for the harness
-// and how to regenerate numbers).
-// Each benchmark iteration executes one full simulated run; the custom
-// metrics report the model quantities the paper bounds (simulated steps and
+// Execution benchmarks, one per experiment table (see BENCHMARKS.md for
+// the harness and how to regenerate numbers). Since the two-phase object
+// model, these measure the *execution* cost only: the object graph is
+// compiled and instantiated once per benchmark and reset between
+// iterations — the steady state of a repeated-execution sweep or a
+// long-lived serving loop (allocation-free after warmup). Construction
+// cost is measured separately in bench_construction_test.go; the
+// fresh-build benchmarks there reproduce the old construct-per-iteration
+// behavior for the amortization comparison (recorded in BENCH_2.json).
+//
+// Each iteration executes one full simulated run; the custom metrics
+// report the model quantities the paper bounds (simulated steps and
 // test-and-set entries per process), while ns/op measures the harness
 // itself. BenchmarkNative* run the same objects on real goroutines.
 package renaming_test
@@ -14,13 +22,21 @@ import (
 	"repro/internal/shmem"
 )
 
-// simRun executes body on a fresh simulator and accumulates step metrics.
-func simRun(b *testing.B, k int, build func(rt *renaming.SimRuntime) func(renaming.Proc)) {
+// simRun executes one reset-many sweep: build instantiates the object
+// graph on the long-lived runtime and returns the per-execution body plus
+// its reset; every iteration replays a fresh (seed, schedule) point
+// against the reused graph. Construction stays outside the timed region.
+func simRun(b *testing.B, k int, build func(mem renaming.Mem) (body func(renaming.Proc), reset func())) {
 	b.Helper()
+	rt := renaming.NewSim(0, renaming.RandomSchedule(0))
+	body, reset := build(rt)
 	var maxSteps, totalSteps, comps, tasEnters uint64
+	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		rt := renaming.NewSim(uint64(i), renaming.RandomSchedule(uint64(i)))
-		body := build(rt)
+		if i > 0 {
+			reset()
+			rt.Reset(uint64(i), renaming.RandomSchedule(uint64(i)))
+		}
 		st := rt.Run(k, body)
 		maxSteps += st.MaxSteps()
 		totalSteps += st.TotalSteps()
@@ -43,9 +59,9 @@ func simRun(b *testing.B, k int, build func(rt *renaming.SimRuntime) func(renami
 func BenchmarkBitBatching(b *testing.B) {
 	for _, n := range []int{16, 64, 256} {
 		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
-			simRun(b, n, func(rt *renaming.SimRuntime) func(renaming.Proc) {
-				bb := renaming.NewBitBatchingRenaming(rt, n)
-				return func(p renaming.Proc) { bb.Rename(p, uint64(p.ID())+1) }
+			simRun(b, n, func(mem renaming.Mem) (func(renaming.Proc), func()) {
+				bb := renaming.CompileBitBatching(n).Instantiate(mem)
+				return func(p renaming.Proc) { bb.Rename(p, uint64(p.ID())+1) }, bb.Reset
 			})
 		})
 	}
@@ -56,9 +72,9 @@ func BenchmarkBitBatching(b *testing.B) {
 func BenchmarkRenamingNetwork(b *testing.B) {
 	for _, m := range []int{16, 64, 256} {
 		b.Run(fmt.Sprintf("M=%d", m), func(b *testing.B) {
-			simRun(b, m, func(rt *renaming.SimRuntime) func(renaming.Proc) {
-				rn := renaming.NewNetworkRenaming(rt, m)
-				return func(p renaming.Proc) { rn.Rename(p, uint64(p.ID())+1) }
+			simRun(b, m, func(mem renaming.Mem) (func(renaming.Proc), func()) {
+				rn := renaming.CompileNetworkRenaming(m).Instantiate(mem)
+				return func(p renaming.Proc) { rn.Rename(p, uint64(p.ID())+1) }, rn.Reset
 			})
 		})
 	}
@@ -69,9 +85,9 @@ func BenchmarkRenamingNetwork(b *testing.B) {
 func BenchmarkStrongAdaptive(b *testing.B) {
 	for _, k := range []int{2, 8, 32, 128} {
 		b.Run(fmt.Sprintf("k=%d", k), func(b *testing.B) {
-			simRun(b, k, func(rt *renaming.SimRuntime) func(renaming.Proc) {
-				sa := renaming.NewRenaming(rt)
-				return func(p renaming.Proc) { sa.Rename(p, uint64(p.ID())+1) }
+			simRun(b, k, func(mem renaming.Mem) (func(renaming.Proc), func()) {
+				sa := renaming.CompileRenaming().Instantiate(mem)
+				return func(p renaming.Proc) { sa.Rename(p, uint64(p.ID())+1) }, sa.Reset
 			})
 		})
 	}
@@ -82,9 +98,9 @@ func BenchmarkStrongAdaptive(b *testing.B) {
 func BenchmarkStrongAdaptiveHardware(b *testing.B) {
 	for _, k := range []int{8, 64} {
 		b.Run(fmt.Sprintf("k=%d", k), func(b *testing.B) {
-			simRun(b, k, func(rt *renaming.SimRuntime) func(renaming.Proc) {
-				sa := renaming.NewRenaming(rt, renaming.WithHardwareTAS())
-				return func(p renaming.Proc) { sa.Rename(p, uint64(p.ID())+1) }
+			simRun(b, k, func(mem renaming.Mem) (func(renaming.Proc), func()) {
+				sa := renaming.CompileRenaming(renaming.WithHardwareTAS()).Instantiate(mem)
+				return func(p renaming.Proc) { sa.Rename(p, uint64(p.ID())+1) }, sa.Reset
 			})
 		})
 	}
@@ -94,9 +110,9 @@ func BenchmarkStrongAdaptiveHardware(b *testing.B) {
 func BenchmarkLinearProbeBaseline(b *testing.B) {
 	for _, k := range []int{8, 32, 128} {
 		b.Run(fmt.Sprintf("k=%d", k), func(b *testing.B) {
-			simRun(b, k, func(rt *renaming.SimRuntime) func(renaming.Proc) {
-				lp := renaming.NewLinearProbeRenaming(rt)
-				return func(p renaming.Proc) { lp.Rename(p, uint64(p.ID())+1) }
+			simRun(b, k, func(mem renaming.Mem) (func(renaming.Proc), func()) {
+				lp := renaming.NewLinearProbeRenaming(mem)
+				return func(p renaming.Proc) { lp.Rename(p, uint64(p.ID())+1) }, lp.Reset
 			})
 		})
 	}
@@ -107,14 +123,14 @@ func BenchmarkLinearProbeBaseline(b *testing.B) {
 func BenchmarkCounterInc(b *testing.B) {
 	for _, k := range []int{4, 16} {
 		b.Run(fmt.Sprintf("k=%d", k), func(b *testing.B) {
-			simRun(b, k, func(rt *renaming.SimRuntime) func(renaming.Proc) {
-				c := renaming.NewCounter(rt)
+			simRun(b, k, func(mem renaming.Mem) (func(renaming.Proc), func()) {
+				c := renaming.CompileCounter().Instantiate(mem)
 				return func(p renaming.Proc) {
 					for i := 0; i < 4; i++ {
 						c.Inc(p)
 						c.Read(p)
 					}
-				}
+				}, c.Reset
 			})
 		})
 	}
@@ -125,9 +141,9 @@ func BenchmarkFetchInc(b *testing.B) {
 	for _, m := range []uint64{16, 256} {
 		for _, k := range []int{4, 16} {
 			b.Run(fmt.Sprintf("m=%d/k=%d", m, k), func(b *testing.B) {
-				simRun(b, k, func(rt *renaming.SimRuntime) func(renaming.Proc) {
-					f := renaming.NewFetchInc(rt, m)
-					return func(p renaming.Proc) { f.Inc(p) }
+				simRun(b, k, func(mem renaming.Mem) (func(renaming.Proc), func()) {
+					f := renaming.NewFetchInc(mem, m)
+					return func(p renaming.Proc) { f.Inc(p) }, f.Reset
 				})
 			})
 		}
@@ -138,22 +154,27 @@ func BenchmarkFetchInc(b *testing.B) {
 func BenchmarkLTAS(b *testing.B) {
 	for _, ell := range []uint64{1, 8} {
 		b.Run(fmt.Sprintf("ell=%d", ell), func(b *testing.B) {
-			simRun(b, 16, func(rt *renaming.SimRuntime) func(renaming.Proc) {
-				o := renaming.NewLTAS(rt, ell)
-				return func(p renaming.Proc) { o.Try(p) }
+			simRun(b, 16, func(mem renaming.Mem) (func(renaming.Proc), func()) {
+				o := renaming.NewLTAS(mem, ell)
+				return func(p renaming.Proc) { o.Try(p) }, o.Reset
 			})
 		})
 	}
 }
 
 // BenchmarkNativeRenaming runs strong adaptive renaming on real goroutines
-// (wall-clock throughput of the library as a Go component, hardware TAS).
+// (wall-clock throughput of the library as a Go component, hardware TAS),
+// instantiate-once / reset-many: the serving-loop steady state.
 func BenchmarkNativeRenaming(b *testing.B) {
 	for _, k := range []int{8, 64} {
 		b.Run(fmt.Sprintf("k=%d", k), func(b *testing.B) {
+			rt := renaming.NewNative(1)
+			sa := renaming.CompileRenaming(renaming.WithHardwareTAS()).Instantiate(rt)
+			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				rt := renaming.NewNative(uint64(i))
-				sa := renaming.NewRenaming(rt, renaming.WithHardwareTAS())
+				if i > 0 {
+					sa.Reset()
+				}
 				rt.Run(k, func(p renaming.Proc) {
 					sa.Rename(p, uint64(p.ID())+1)
 				})
@@ -162,13 +183,18 @@ func BenchmarkNativeRenaming(b *testing.B) {
 	}
 }
 
-// BenchmarkNativeCounter measures the monotone counter on real goroutines.
+// BenchmarkNativeCounter measures the monotone counter on real goroutines,
+// instantiate-once / reset-many.
 func BenchmarkNativeCounter(b *testing.B) {
 	for _, k := range []int{8, 64} {
 		b.Run(fmt.Sprintf("k=%d", k), func(b *testing.B) {
+			rt := renaming.NewNative(1)
+			c := renaming.CompileCounter(renaming.WithHardwareTAS()).Instantiate(rt)
+			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				rt := renaming.NewNative(uint64(i))
-				c := renaming.NewCounter(rt, renaming.WithHardwareTAS())
+				if i > 0 {
+					c.Reset()
+				}
 				rt.Run(k, func(p renaming.Proc) {
 					for j := 0; j < 4; j++ {
 						c.Inc(p)

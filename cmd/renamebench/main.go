@@ -20,6 +20,7 @@ import (
 func main() {
 	quick := flag.Bool("quick", false, "shrink parameter sweeps for a fast smoke run")
 	seeds := flag.Int("seeds", 10, "independent runs per parameter point")
+	fresh := flag.Bool("fresh", false, "rebuild the object graph for every seed instead of resetting one instantiation (comparison knob; results are bit-identical)")
 	table := flag.String("table", "", "run only the experiment with this ID (e.g. E8)")
 	markdown := flag.Bool("markdown", false, "emit GitHub-flavored markdown")
 	csv := flag.Bool("csv", false, "emit CSV series for external plotting")
@@ -31,7 +32,7 @@ func main() {
 		os.Exit(2)
 	}
 
-	cfg := bench.Config{Seeds: *seeds, Quick: *quick}
+	cfg := bench.Config{Seeds: *seeds, Quick: *quick, Fresh: *fresh}
 	tables := bench.All(cfg)
 
 	matched := false

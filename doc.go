@@ -37,6 +37,30 @@
 //	    fmt.Printf("process %d got name %d\n", p.ID(), name)
 //	})
 //
+// # Two-phase construction: blueprints, instantiation, reset
+//
+// Every object is split into a compiled blueprint (the runtime-independent
+// shape — topology, geometry, layouts — compiled once per parameter point
+// and cached process-wide) and an instantiation that stamps shared state
+// onto one runtime through bulk register arenas. The NewX constructors do
+// both in one call; the CompileX functions expose the blueprint, and
+// instantiated objects support Reset, so repeated-execution sweeps and
+// long-lived serving loops construct once and run many times without
+// reallocation:
+//
+//	bp := renaming.CompileRenaming()    // cached process-wide
+//	rt := renaming.NewSim(seed0, adv0)
+//	ren := bp.Instantiate(rt)           // once per object graph
+//	rt.Run(k, body)
+//	ren.Reset()                         // restore shared state in place
+//	rt.Reset(seed1, adv1)               // rewind the simulator
+//	rt.Run(k, body)                     // allocation-free
+//
+// For a fixed (seed, adversary) the reset path is bit-identical to fresh
+// construction — same Stats, same names, same crash sets (the reuse
+// equivalence tests pin this down).
+//
 // See examples/ for runnable scenarios and BENCHMARKS.md for the benchmark
-// harness, the scheduler fast paths, and the per-experiment index.
+// harness, the scheduler fast paths, the construction-cost table, and the
+// per-experiment index.
 package renaming

@@ -6,7 +6,6 @@ import (
 	"repro/internal/core"
 	"repro/internal/llsc"
 	"repro/internal/shmem"
-	"repro/internal/sim"
 	"repro/internal/sortnet"
 	"repro/internal/splitter"
 	"repro/internal/tas"
@@ -31,34 +30,27 @@ func E15Ablations(cfg Config) *Table {
 		ks = []int{8}
 	}
 
+	// Each variant builds a per-k sweep: one runtime and one instantiated
+	// graph per (variant, k), reset between seeds.
 	type variant struct {
-		name string
-		run  func(seed uint64, k int) (st *shmem.Stats, ok bool, comps uint64)
+		name  string
+		sweep func(cfg Config, k int) func(seed uint64) (st *shmem.Stats, ok bool, comps uint64)
 	}
 	variants := []variant{
-		{"renaming/base=oem", func(seed uint64, k int) (*shmem.Stats, bool, uint64) {
-			return runRenamingVariant(seed, k, sortnet.BaseOEM, tas.MakeTwoProcPool)
-		}},
-		{"renaming/base=balanced", func(seed uint64, k int) (*shmem.Stats, bool, uint64) {
-			return runRenamingVariant(seed, k, sortnet.BaseBalanced, tas.MakeTwoProcPool)
-		}},
-		{"renaming/tas=hardware", func(seed uint64, k int) (*shmem.Stats, bool, uint64) {
-			return runRenamingVariant(seed, k, sortnet.BaseOEM, unitMaker)
-		}},
-		{"ratrace/plain", func(seed uint64, k int) (*shmem.Stats, bool, uint64) {
-			return runRatRaceVariant(seed, k, false)
-		}},
-		{"ratrace/fastpath", func(seed uint64, k int) (*shmem.Stats, bool, uint64) {
-			return runRatRaceVariant(seed, k, true)
-		}},
+		{"renaming/base=oem", renamingSweep(sortnet.BaseOEM, poolMaker)},
+		{"renaming/base=balanced", renamingSweep(sortnet.BaseBalanced, poolMaker)},
+		{"renaming/tas=hardware", renamingSweep(sortnet.BaseOEM, unitMaker)},
+		{"ratrace/plain", ratRaceSweep(false)},
+		{"ratrace/fastpath", ratRaceSweep(true)},
 	}
 
 	for _, v := range variants {
 		for _, k := range ks {
 			var steps, comps agg
 			allOK := true
+			run := v.sweep(cfg, k)
 			for seed := 0; seed < cfg.Seeds; seed++ {
-				st, ok, c := v.run(uint64(seed), k)
+				st, ok, c := run(uint64(seed))
 				if !ok {
 					allOK = false
 				}
@@ -94,14 +86,17 @@ func E16Wakeup(cfg Config) *Table {
 	for _, k := range ks {
 		var mean agg
 		ones := -1
-		for seed := 0; seed < cfg.Seeds; seed++ {
-			rt := sim.New(uint64(seed), sim.NewRandom(uint64(seed)))
-			sa := core.NewStrongAdaptive(rt, splitter.NewTree(rt), llsc.MakeCompiled)
-			w := core.NewWakeup(rt, k, sa)
-			got := 0
-			st := rt.Run(k, func(p shmem.Proc) {
+		got := 0
+		sw := newSweep(cfg, randomAdv, func(mem shmem.Mem) (func(shmem.Proc), func()) {
+			sa := core.NewStrongAdaptive(mem, splitter.NewTree(mem), llsc.MakeCompiled)
+			w := core.NewWakeup(mem, k, sa)
+			return func(p shmem.Proc) {
 				got += w.Wake(p, uint64(p.ID())+1) // serialized by the simulator
-			})
+			}, w.Reset
+		})
+		for seed := 0; seed < cfg.Seeds; seed++ {
+			got = 0
+			st := sw.run(uint64(seed), k)
 			ones = got
 			mean.add(float64(st.TotalSteps()) / float64(k))
 		}
@@ -114,33 +109,51 @@ func E16Wakeup(cfg Config) *Table {
 	return t
 }
 
-func runRenamingVariant(seed uint64, k int, base sortnet.Base, mkFor func(shmem.Mem) tas.SidedMaker) (*shmem.Stats, bool, uint64) {
-	rt := sim.New(seed, sim.NewRandom(seed))
-	sa := core.NewStrongAdaptiveWithBase(rt, splitter.NewTree(rt), mkFor(rt), base)
-	names := make([]uint64, k)
-	st := rt.Run(k, func(p shmem.Proc) {
-		names[p.ID()] = sa.Rename(p, uint64(p.ID())+1)
-	})
-	return st, core.CheckUniqueTight(names) == nil, st.MaxEvent(shmem.EvComparator)
+// renamingSweep builds the compile-once/reset-many runner for one strong
+// adaptive renaming variant at one contention level.
+func renamingSweep(base sortnet.Base, mkFor func(shmem.Mem) tas.SidedMaker) func(cfg Config, k int) func(uint64) (*shmem.Stats, bool, uint64) {
+	return func(cfg Config, k int) func(uint64) (*shmem.Stats, bool, uint64) {
+		names := make([]uint64, k)
+		sw := newSweep(cfg, randomAdv, func(mem shmem.Mem) (func(shmem.Proc), func()) {
+			sa := core.NewStrongAdaptiveWithBase(mem, splitter.NewTree(mem), mkFor(mem), base)
+			return func(p shmem.Proc) {
+				names[p.ID()] = sa.Rename(p, uint64(p.ID())+1)
+			}, sa.Reset
+		})
+		return func(seed uint64) (*shmem.Stats, bool, uint64) {
+			st := sw.run(seed, k)
+			return st, core.CheckUniqueTight(names) == nil, st.MaxEvent(shmem.EvComparator)
+		}
+	}
 }
 
-// unitMaker adapts tas.MakeUnit to the per-runtime maker-factory shape of
-// runRenamingVariant (hardware TAS objects need no pooling).
-func unitMaker(shmem.Mem) tas.SidedMaker { return tas.MakeUnit }
+// poolMaker and unitMaker adapt the TAS flavors to the per-runtime
+// maker-factory shape of renamingSweep (hardware TAS needs no pooling).
+func poolMaker(mem shmem.Mem) tas.SidedMaker { return tas.MakeTwoProcPool(mem) }
+func unitMaker(shmem.Mem) tas.SidedMaker     { return tas.MakeUnit }
 
-func runRatRaceVariant(seed uint64, k int, fast bool) (*shmem.Stats, bool, uint64) {
-	rt := sim.New(seed, sim.NewRandom(seed))
-	var rr *tas.RatRace
-	if fast {
-		rr = tas.NewRatRaceWithFastPath(rt, tas.MakeTwoProcPool(rt))
-	} else {
-		rr = tas.NewRatRace(rt, tas.MakeTwoProcPool(rt))
-	}
-	wins := 0
-	st := rt.Run(k, func(p shmem.Proc) {
-		if rr.TestAndSet(p, uint64(p.ID())+1) {
-			wins++ // serialized by the simulator
+// ratRaceSweep builds the compile-once/reset-many runner for the RatRace
+// fast-path ablation at one contention level.
+func ratRaceSweep(fast bool) func(cfg Config, k int) func(uint64) (*shmem.Stats, bool, uint64) {
+	return func(cfg Config, k int) func(uint64) (*shmem.Stats, bool, uint64) {
+		wins := 0
+		sw := newSweep(cfg, randomAdv, func(mem shmem.Mem) (func(shmem.Proc), func()) {
+			var rr *tas.RatRace
+			if fast {
+				rr = tas.NewRatRaceWithFastPath(mem, tas.MakeTwoProcPool(mem))
+			} else {
+				rr = tas.NewRatRace(mem, tas.MakeTwoProcPool(mem))
+			}
+			return func(p shmem.Proc) {
+				if rr.TestAndSet(p, uint64(p.ID())+1) {
+					wins++ // serialized by the simulator
+				}
+			}, rr.Reset
+		})
+		return func(seed uint64) (*shmem.Stats, bool, uint64) {
+			wins = 0
+			st := sw.run(seed, k)
+			return st, wins == 1, st.MaxEvent(shmem.EvTAS2Enter)
 		}
-	})
-	return st, wins == 1, st.MaxEvent(shmem.EvTAS2Enter)
+	}
 }

@@ -18,10 +18,52 @@ type Config struct {
 	Seeds int
 	// Quick shrinks the parameter sweeps for smoke runs.
 	Quick bool
+	// Fresh rebuilds the runtime and the object graph for every seed
+	// instead of resetting one instantiation (the pre-two-phase behavior;
+	// a comparison knob — results are bit-identical either way, see the
+	// reuse equivalence tests).
+	Fresh bool
 }
 
 // DefaultConfig is the full-size sweep used for the published tables.
 var DefaultConfig = Config{Seeds: 10}
+
+// sweep drives one parameter point of an experiment on the compile-once /
+// instantiate-once / reset-many path: a single simulator runtime and a
+// single instantiated object graph serve every seed, reset between
+// executions (allocation-free after the first seed). build instantiates
+// the graph and returns the per-execution body plus its reset; advFor
+// builds a fresh adversary per seed (schedules carry state). With
+// cfg.Fresh everything is rebuilt per seed instead.
+type sweep struct {
+	cfg    Config
+	advFor func(seed uint64) sim.Adversary
+	build  func(mem shmem.Mem) (body func(shmem.Proc), reset func())
+
+	rt    *sim.Runtime
+	body  func(shmem.Proc)
+	reset func()
+}
+
+// randomAdv is the default uniformly random schedule family.
+func randomAdv(seed uint64) sim.Adversary { return sim.NewRandom(seed) }
+
+func newSweep(cfg Config, advFor func(uint64) sim.Adversary, build func(mem shmem.Mem) (func(shmem.Proc), func())) *sweep {
+	return &sweep{cfg: cfg, advFor: advFor, build: build}
+}
+
+// run executes one seed's execution and returns its Stats.
+func (s *sweep) run(seed uint64, k int) *shmem.Stats {
+	switch {
+	case s.cfg.Fresh || s.rt == nil:
+		s.rt = sim.New(seed, s.advFor(seed))
+		s.body, s.reset = s.build(s.rt)
+	default:
+		s.reset()
+		s.rt.Reset(seed, s.advFor(seed))
+	}
+	return s.rt.Run(k, s.body)
+}
 
 // All runs every experiment and returns the tables in index order.
 func All(cfg Config) []*Table {
@@ -82,12 +124,12 @@ func E1BitBatching(cfg Config) *Table {
 	}
 	for _, n := range sizes {
 		var probes, steps, total, totalTAS agg
+		sw := newSweep(cfg, randomAdv, func(mem shmem.Mem) (func(shmem.Proc), func()) {
+			bb := core.NewBitBatching(mem, n, tas.MakeTwoProcPool(mem))
+			return func(p shmem.Proc) { bb.Rename(p, uint64(p.ID())+1) }, bb.Reset
+		})
 		for seed := 0; seed < cfg.Seeds; seed++ {
-			rt := sim.New(uint64(seed), sim.NewRandom(uint64(seed)))
-			bb := core.NewBitBatching(rt, n, tas.MakeTwoProcPool(rt))
-			st := rt.Run(n, func(p shmem.Proc) {
-				bb.Rename(p, uint64(p.ID())+1)
-			})
+			st := sw.run(uint64(seed), n)
 			probes.add(float64(st.MaxEvent(shmem.EvTASEnter)))
 			steps.add(float64(st.MaxSteps()))
 			total.add(float64(st.TotalSteps()))
@@ -157,16 +199,18 @@ func E5RenamingNetwork(cfg Config) *Table {
 			if k < 1 {
 				continue
 			}
-			net := sortnet.OddEvenMergeNet(m)
+			net := sortnet.SharedOEMNet(m)
 			var comps, steps agg
 			tight := true
-			for seed := 0; seed < cfg.Seeds; seed++ {
-				rt := sim.New(uint64(seed), sim.NewRandom(uint64(seed)))
-				rn := core.NewRenamingNetwork(rt, net, tas.MakeTwoProcPool(rt))
-				names := make([]uint64, k)
-				st := rt.Run(k, func(p shmem.Proc) {
+			names := make([]uint64, k)
+			sw := newSweep(cfg, randomAdv, func(mem shmem.Mem) (func(shmem.Proc), func()) {
+				rn := core.NewRenamingNetwork(mem, net, tas.MakeTwoProcPool(mem))
+				return func(p shmem.Proc) {
 					names[p.ID()] = rn.Rename(p, uint64(p.ID()*m/k)+1)
-				})
+				}, rn.Reset
+			})
+			for seed := 0; seed < cfg.Seeds; seed++ {
+				st := sw.run(uint64(seed), k)
 				if core.CheckUniqueTight(names) != nil {
 					tight = false
 				}
@@ -231,13 +275,15 @@ func E8StrongAdaptive(cfg Config) *Table {
 	for _, k := range ks {
 		var meanComps, maxComps, meanSteps, maxSteps, split agg
 		tight := true
-		for seed := 0; seed < cfg.Seeds; seed++ {
-			rt := sim.New(uint64(seed), sim.NewRandom(uint64(seed)))
-			sa := core.NewStrongAdaptive(rt, splitter.NewTree(rt), tas.MakeTwoProcPool(rt))
-			names := make([]uint64, k)
-			st := rt.Run(k, func(p shmem.Proc) {
+		names := make([]uint64, k)
+		sw := newSweep(cfg, randomAdv, func(mem shmem.Mem) (func(shmem.Proc), func()) {
+			sa := core.NewStrongAdaptive(mem, splitter.NewTree(mem), tas.MakeTwoProcPool(mem))
+			return func(p shmem.Proc) {
 				names[p.ID()] = sa.Rename(p, uint64(p.ID())+1)
-			})
+			}, sa.Reset
+		})
+		for seed := 0; seed < cfg.Seeds; seed++ {
+			st := sw.run(uint64(seed), k)
 			if core.CheckUniqueTight(names) != nil {
 				tight = false
 			}
@@ -284,12 +330,12 @@ func E9LowerBound(cfg Config) *Table {
 	}
 	for _, k := range ks {
 		var mean agg
+		sw := newSweep(cfg, randomAdv, func(mem shmem.Mem) (func(shmem.Proc), func()) {
+			sa := core.NewStrongAdaptive(mem, splitter.NewTree(mem), tas.MakeTwoProcPool(mem))
+			return func(p shmem.Proc) { sa.Rename(p, uint64(p.ID())+1) }, sa.Reset
+		})
 		for seed := 0; seed < cfg.Seeds; seed++ {
-			rt := sim.New(uint64(seed), sim.NewRandom(uint64(seed)))
-			sa := core.NewStrongAdaptive(rt, splitter.NewTree(rt), tas.MakeTwoProcPool(rt))
-			st := rt.Run(k, func(p shmem.Proc) {
-				sa.Rename(p, uint64(p.ID())+1)
-			})
+			st := sw.run(uint64(seed), k)
 			mean.add(float64(st.TotalSteps()) / float64(k))
 		}
 		l := lg(float64(k))
@@ -318,12 +364,14 @@ func E10Counter(cfg Config) *Table {
 		v := sh.k * sh.each
 		var inc, read, casInc, aacInc agg
 		consistent := true
-		for seed := 0; seed < cfg.Seeds; seed++ {
-			rt := sim.New(uint64(seed), sim.NewRandom(uint64(seed)))
-			c := core.NewMonotoneCounter(rt, tas.MakeTwoProcPool(rt))
-			var incs, reads []core.Interval
-			var incSteps, readSteps agg
-			rt.Run(sh.k, func(p shmem.Proc) {
+
+		// Per-seed observation buffers, cleared between executions (the
+		// bodies are built once and capture them).
+		var incs, reads []core.Interval
+		var incSteps, readSteps agg
+		csw := newSweep(cfg, randomAdv, func(mem shmem.Mem) (func(shmem.Proc), func()) {
+			c := core.NewMonotoneCounter(mem, tas.MakeTwoProcPool(mem))
+			return func(p shmem.Proc) {
 				for i := 0; i < sh.each; i++ {
 					s0, t0 := p.Now(), stepsOf(p)
 					c.Inc(p)
@@ -334,32 +382,41 @@ func E10Counter(cfg Config) *Table {
 					reads = append(reads, core.Interval{Start: s0, End: p.Now(), Val: val})
 					readSteps.add(float64(stepsOf(p) - t0))
 				}
-			})
+			}, c.Reset
+		})
+		// CAS baseline under the same contention shape.
+		casSW := newSweep(cfg, randomAdv, func(mem shmem.Mem) (func(shmem.Proc), func()) {
+			cc := core.NewCASCounter(mem)
+			return func(p shmem.Proc) {
+				for i := 0; i < sh.each; i++ {
+					cc.Inc(p)
+				}
+			}, cc.Reset
+		})
+		// AAC [17] baseline: deterministic, linearizable, the
+		// construction the paper says it beats by a log factor.
+		aacSW := newSweep(cfg, randomAdv, func(mem shmem.Mem) (func(shmem.Proc), func()) {
+			ac := maxreg.NewAACCounter(mem, sh.k)
+			return func(p shmem.Proc) {
+				for i := 0; i < sh.each; i++ {
+					ac.Inc(p)
+				}
+			}, ac.Reset
+		})
+		for seed := 0; seed < cfg.Seeds; seed++ {
+			incs, reads = incs[:0], reads[:0]
+			incSteps, readSteps = agg{}, agg{}
+			csw.run(uint64(seed), sh.k)
 			if core.CheckMonotoneCounter(incs, reads) != nil {
 				consistent = false
 			}
 			inc.add(incSteps.mean())
 			read.add(readSteps.mean())
 
-			// CAS baseline under the same contention shape.
-			rt2 := sim.New(uint64(seed), sim.NewRandom(uint64(seed)))
-			cc := core.NewCASCounter(rt2)
-			st2 := rt2.Run(sh.k, func(p shmem.Proc) {
-				for i := 0; i < sh.each; i++ {
-					cc.Inc(p)
-				}
-			})
+			st2 := casSW.run(uint64(seed), sh.k)
 			casInc.add(float64(st2.TotalSteps()) / float64(v))
 
-			// AAC [17] baseline: deterministic, linearizable, the
-			// construction the paper says it beats by a log factor.
-			rt3 := sim.New(uint64(seed), sim.NewRandom(uint64(seed)))
-			ac := maxreg.NewAACCounter(rt3, sh.k)
-			st3 := rt3.Run(sh.k, func(p shmem.Proc) {
-				for i := 0; i < sh.each; i++ {
-					ac.Inc(p)
-				}
-			})
+			st3 := aacSW.run(uint64(seed), sh.k)
 			aacInc.add(float64(st3.TotalSteps()) / float64(v))
 		}
 		t.AddRow(d(sh.k), d(sh.each), d(v),
@@ -405,18 +462,20 @@ func E12LTAS(cfg Config) *Table {
 		winners := -1
 		linearizable := true
 		var steps agg
-		for seed := 0; seed < cfg.Seeds; seed++ {
-			rt := sim.New(uint64(seed), sim.NewRandom(uint64(seed)))
-			o := core.NewLTestAndSet(rt, sh.ell, tas.MakeTwoProcPool(rt))
-			ops := make([]core.Interval, sh.k)
-			st := rt.Run(sh.k, func(p shmem.Proc) {
+		ops := make([]core.Interval, sh.k)
+		sw := newSweep(cfg, randomAdv, func(mem shmem.Mem) (func(shmem.Proc), func()) {
+			o := core.NewLTestAndSet(mem, sh.ell, tas.MakeTwoProcPool(mem))
+			return func(p shmem.Proc) {
 				s0 := p.Now()
 				v := uint64(0)
 				if o.Try(p) {
 					v = 1
 				}
 				ops[p.ID()] = core.Interval{Start: s0, End: p.Now(), Val: v}
-			})
+			}, o.Reset
+		})
+		for seed := 0; seed < cfg.Seeds; seed++ {
+			st := sw.run(uint64(seed), sh.k)
 			w := 0
 			for _, op := range ops {
 				if op.Val == 1 {
@@ -455,15 +514,18 @@ func E13FetchInc(cfg Config) *Table {
 	for _, sh := range shapes {
 		var steps agg
 		linearizable := true
-		for seed := 0; seed < cfg.Seeds; seed++ {
-			rt := sim.New(uint64(seed), sim.NewRandom(uint64(seed)))
-			f := core.NewFetchInc(rt, sh.m, tas.MakeTwoProcPool(rt))
-			var ops []core.Interval
-			st := rt.Run(sh.k, func(p shmem.Proc) {
+		var ops []core.Interval
+		sw := newSweep(cfg, randomAdv, func(mem shmem.Mem) (func(shmem.Proc), func()) {
+			f := core.NewFetchInc(mem, sh.m, tas.MakeTwoProcPool(mem))
+			return func(p shmem.Proc) {
 				s0 := p.Now()
 				v := f.Inc(p)
 				ops = append(ops, core.Interval{Start: s0, End: p.Now(), Val: v})
-			})
+			}, f.Reset
+		})
+		for seed := 0; seed < cfg.Seeds; seed++ {
+			ops = ops[:0]
+			st := sw.run(uint64(seed), sh.k)
 			if core.CheckFetchIncLinearizable(ops, sh.m) != nil {
 				linearizable = false
 			}
@@ -496,21 +558,33 @@ func E14Baselines(cfg Config) *Table {
 	for _, k := range ks {
 		var adSteps, lpSteps, bbSteps agg
 		adObjects, bbObjects := 0, 0
+		var sa *core.StrongAdaptive
+		adSW := newSweep(cfg, randomAdv, func(mem shmem.Mem) (func(shmem.Proc), func()) {
+			sa = core.NewStrongAdaptive(mem, splitter.NewTree(mem), tas.MakeTwoProcPool(mem))
+			return func(p shmem.Proc) { sa.Rename(p, uint64(p.ID())+1) }, sa.Reset
+		})
+		lpSW := newSweep(cfg, randomAdv, func(mem shmem.Mem) (func(shmem.Proc), func()) {
+			lp := core.NewLinearProbe(mem, tas.MakeTwoProcPool(mem))
+			return func(p shmem.Proc) { lp.Rename(p, uint64(p.ID())+1) }, lp.Reset
+		})
+		bbSW := newSweep(cfg, randomAdv, func(mem shmem.Mem) (func(shmem.Proc), func()) {
+			bb := core.NewBitBatching(mem, k, tas.MakeTwoProcPool(mem))
+			return func(p shmem.Proc) { bb.Rename(p, uint64(p.ID())+1) }, bb.Reset
+		})
 		for seed := 0; seed < cfg.Seeds; seed++ {
-			rt := sim.New(uint64(seed), sim.NewRandom(uint64(seed)))
-			sa := core.NewStrongAdaptive(rt, splitter.NewTree(rt), tas.MakeTwoProcPool(rt))
-			st := rt.Run(k, func(p shmem.Proc) { sa.Rename(p, uint64(p.ID())+1) })
+			st := adSW.run(uint64(seed), k)
 			adSteps.add(float64(st.MaxSteps()))
-			adObjects = sa.ComparatorObjects() + sa.SplitterNodes()
+			if seed == 0 {
+				// One execution's lazy footprint (seed 0 in either mode; on
+				// the reused graph the table union would otherwise
+				// accumulate across seeds).
+				adObjects = sa.ComparatorObjects() + sa.SplitterNodes()
+			}
 
-			rt2 := sim.New(uint64(seed), sim.NewRandom(uint64(seed)))
-			lp := core.NewLinearProbe(rt2, tas.MakeTwoProcPool(rt2))
-			st2 := rt2.Run(k, func(p shmem.Proc) { lp.Rename(p, uint64(p.ID())+1) })
+			st2 := lpSW.run(uint64(seed), k)
 			lpSteps.add(float64(st2.MaxSteps()))
 
-			rt3 := sim.New(uint64(seed), sim.NewRandom(uint64(seed)))
-			bb := core.NewBitBatching(rt3, k, tas.MakeTwoProcPool(rt3))
-			st3 := rt3.Run(k, func(p shmem.Proc) { bb.Rename(p, uint64(p.ID())+1) })
+			st3 := bbSW.run(uint64(seed), k)
 			bbSteps.add(float64(st3.MaxSteps()))
 			bbObjects = k // one RatRace per name, allocated up front
 		}

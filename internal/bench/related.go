@@ -6,7 +6,6 @@ import (
 	"repro/internal/core"
 	"repro/internal/countnet"
 	"repro/internal/shmem"
-	"repro/internal/sim"
 )
 
 // E17CountingNetworks positions counting networks [26] against the paper's
@@ -27,28 +26,44 @@ func E17CountingNetworks(cfg Config) *Table {
 	for _, sh := range shapes {
 		stepOK, valsOK, ranksOK := true, true, true
 		depth := 0
-		for seed := 0; seed < cfg.Seeds; seed++ {
-			// Counting mode: concurrent tokens, step property + values.
-			rt := sim.New(uint64(seed), sim.NewRandom(uint64(seed)))
-			n := countnet.NewBitonic(rt, sh.w)
-			depth = n.Depth()
-			done := rt.NewCASReg(0)
-			var vals []uint64
-			var counts []uint64
-			rt.Run(sh.k, func(p shmem.Proc) {
-				for i := 0; i < sh.each; i++ {
-					vals = append(vals, n.Next(p)) // serialized by the simulator
-				}
-				for {
-					d := done.Read(p)
-					if done.CompareAndSwap(p, d, d+1) {
-						if int(d+1) == sh.k {
-							counts = n.ExitCounts(p)
-						}
-						break
+		// Counting mode: concurrent tokens, step property + values.
+		var vals, counts []uint64
+		var n *countnet.Network
+		countSW := newSweep(cfg, randomAdv, func(mem shmem.Mem) (func(shmem.Proc), func()) {
+			n = countnet.NewBitonic(mem, sh.w)
+			done := mem.NewCASReg(0)
+			return func(p shmem.Proc) {
+					for i := 0; i < sh.each; i++ {
+						vals = append(vals, n.Next(p)) // serialized by the simulator
 					}
+					for {
+						d := done.Read(p)
+						if done.CompareAndSwap(p, d, d+1) {
+							if int(d+1) == sh.k {
+								counts = n.ExitCounts(p)
+							}
+							break
+						}
+					}
+				}, func() {
+					n.Reset()
+					shmem.Restore(done, 0)
 				}
-			})
+		})
+		// Renaming mode: one token per wire → tight ranks.
+		ranks := make([]uint64, sh.k)
+		var n2 *countnet.Network
+		rankSW := newSweep(cfg, randomAdv, func(mem shmem.Mem) (func(shmem.Proc), func()) {
+			n2 = countnet.NewBitonic(mem, sh.w)
+			return func(p shmem.Proc) {
+				r, _ := n2.Traverse(p, p.ID()*sh.w/sh.k)
+				ranks[p.ID()] = uint64(r) + 1
+			}, n2.Reset
+		})
+		for seed := 0; seed < cfg.Seeds; seed++ {
+			vals, counts = vals[:0], nil
+			countSW.run(uint64(seed), sh.k)
+			depth = n.Depth()
 			total := uint64(sh.k * sh.each)
 			var sum uint64
 			for i, c := range counts {
@@ -68,14 +83,7 @@ func E17CountingNetworks(cfg Config) *Table {
 				seen[v] = true
 			}
 
-			// Renaming mode: one token per wire → tight ranks.
-			rt2 := sim.New(uint64(seed), sim.NewRandom(uint64(seed)))
-			n2 := countnet.NewBitonic(rt2, sh.w)
-			ranks := make([]uint64, sh.k)
-			rt2.Run(sh.k, func(p shmem.Proc) {
-				r, _ := n2.Traverse(p, p.ID()*sh.w/sh.k)
-				ranks[p.ID()] = uint64(r) + 1
-			})
+			rankSW.run(uint64(seed), sh.k)
 			if core.CheckUniqueTight(ranks) != nil {
 				ranksOK = false
 			}

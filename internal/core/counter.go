@@ -30,6 +30,15 @@ func (u *UIDSource) Next(p shmem.Proc) uint64 {
 	return uint64(p.ID())<<32 | seq
 }
 
+// Reset rewinds every per-process sequence, so a reused object hands out
+// the same uid stream as a fresh one (part of the bit-identical reuse
+// contract). Between executions only.
+func (u *UIDSource) Reset() {
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	clear(u.next)
+}
+
 // MonotoneCounter is the Section 8.1 counter: increment acquires a fresh
 // name from the strong adaptive renaming object and writes it to an
 // unbounded max register; read returns the max register's value.
@@ -63,6 +72,16 @@ func NewMonotoneCounterWith(ren Renamer, max maxreg.MaxReg) *MonotoneCounter {
 	return &MonotoneCounter{ren: ren, max: max}
 }
 
+// Reset restores the counter to zero: the renamer, the max register, and
+// the uid streams all rewind, keeping the allocated graphs. The injected
+// renamer and max register must be resettable (the standard ones are).
+// Between executions only.
+func (c *MonotoneCounter) Reset() {
+	c.ren.(shmem.Resettable).Reset()
+	c.max.(shmem.Resettable).Reset()
+	c.uids.Reset()
+}
+
 // Inc increments the counter and returns the acquired name (the paper's
 // increment has no return value; exposing the name costs nothing and the
 // tests use it).
@@ -88,6 +107,11 @@ type CASCounter struct {
 // NewCASCounter allocates the baseline counter.
 func NewCASCounter(mem shmem.Mem) *CASCounter {
 	return &CASCounter{v: mem.NewCASReg(0)}
+}
+
+// Reset restores the counter to zero. Between executions only.
+func (c *CASCounter) Reset() {
+	shmem.Restore(c.v, 0)
 }
 
 // Inc atomically increments and returns the new value.

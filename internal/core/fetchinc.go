@@ -38,6 +38,18 @@ func NewLTestAndSet(mem shmem.Mem, ell uint64, mk tas.SidedMaker) *LTestAndSet {
 // Ell returns ℓ, the number of winners.
 func (o *LTestAndSet) Ell() uint64 { return o.ell }
 
+// Reset restores the object to its unentered state — doorway open, renamer
+// and uid streams rewound — keeping the allocated graph. Between
+// executions only.
+func (o *LTestAndSet) Reset() {
+	if o.ell == 0 {
+		return
+	}
+	shmem.Restore(o.doorway, 0)
+	o.ren.(shmem.Resettable).Reset()
+	o.uids.Reset()
+}
+
 // Try returns true for exactly the first ℓ linearized invocations.
 func (o *LTestAndSet) Try(p shmem.Proc) bool {
 	if o.ell == 0 {
@@ -117,6 +129,26 @@ func (f *FetchInc) children(n *faiNode) (*faiNode, *faiNode) {
 
 // M returns the capacity m.
 func (f *FetchInc) M() uint64 { return f.m }
+
+// Reset restores the object to zero increments, keeping the lazily built
+// node tree. Between executions only.
+func (f *FetchInc) Reset() {
+	f.root.reset()
+}
+
+func (n *faiNode) reset() {
+	if n.cap <= 1 {
+		return
+	}
+	n.test.Reset()
+	n.mu.Lock()
+	left, right := n.left, n.right
+	n.mu.Unlock()
+	if left != nil {
+		left.reset()
+		right.reset()
+	}
+}
 
 // Inc performs fetch-and-increment: the i-th linearized call returns i
 // (counting from 0) for i < m, and m−1 forever after.

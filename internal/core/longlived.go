@@ -50,6 +50,25 @@ func NewLongLived(mem shmem.Mem, ren Renamer) *LongLived {
 	return &LongLived{ren: ren, mem: mem, head: mem.NewCASReg(0)}
 }
 
+// Reset restores the allocator to its empty state: the free list, every
+// next-pointer cell, the renamer, and the uid streams all rewind, keeping
+// the allocated graph. Names held at reset time — including names held by
+// processes that crashed mid-execution — are reclaimed wholesale: the next
+// execution draws from a fresh tight namespace, so crashed holders cannot
+// leak names across reuses (the recycle test pins this). Between
+// executions only.
+func (l *LongLived) Reset() {
+	shmem.Restore(l.head, 0)
+	l.mu.Lock()
+	cells := l.cells
+	l.mu.Unlock()
+	for _, c := range cells {
+		shmem.Restore(c, 0)
+	}
+	l.ren.(shmem.Resettable).Reset()
+	l.uids.Reset()
+}
+
 // cell returns the next-pointer register for the given name.
 func (l *LongLived) cell(name uint64) shmem.CASReg {
 	l.mu.Lock()

@@ -19,48 +19,38 @@ import (
 // renaming for initial names in [1, M] — the k participants return exactly
 // the names 1..k — with step complexity proportional to the network depth.
 type RenamingNetwork struct {
-	net *sortnet.Network
+	bp  *RenamingNetworkBlueprint
 	mem shmem.Mem
 	mk  tas.SidedMaker
-
-	// lookup[s][w] is the index into stage s of the comparator touching
-	// wire w, or -1.
-	lookup [][]int32
 
 	// comps lazily maps stage<<32|index to the comparator's TAS object.
 	comps *shmem.LazyTable[tas.Sided]
 }
 
 // NewRenamingNetwork builds a renaming network over an explicit sorting
-// network. Comparator TAS objects are allocated lazily: in an execution
-// with contention k only O(k·depth) of them are ever touched.
+// network (compile-once + instantiate; the lookup tables are cached
+// process-wide per network). Comparator TAS objects are allocated lazily:
+// in an execution with contention k only O(k·depth) of them are ever
+// touched.
 func NewRenamingNetwork(mem shmem.Mem, net *sortnet.Network, mk tas.SidedMaker) *RenamingNetwork {
-	rn := &RenamingNetwork{
-		net:    net,
-		mem:    mem,
-		mk:     mk,
-		lookup: make([][]int32, len(net.Stages)),
-		comps:  shmem.NewLazyTable[tas.Sided](mem),
-	}
-	for s, stage := range net.Stages {
-		row := make([]int32, net.W)
-		for i := range row {
-			row[i] = -1
-		}
-		for ci, c := range stage {
-			row[c.A], row[c.B] = int32(ci), int32(ci)
-		}
-		rn.lookup[s] = row
-	}
-	return rn
+	return CompileRenamingNetwork(net).Instantiate(mem, mk)
 }
 
 // Width returns the number of input wires (the bound M on initial names).
-func (rn *RenamingNetwork) Width() int { return rn.net.W }
+func (rn *RenamingNetwork) Width() int { return rn.bp.net.W }
 
 // Depth returns the network depth, which bounds the number of test-and-set
 // objects any process enters.
-func (rn *RenamingNetwork) Depth() int { return rn.net.Depth() }
+func (rn *RenamingNetwork) Depth() int { return rn.bp.net.Depth() }
+
+// Reset restores every allocated comparator to its unentered state,
+// keeping the lazily built comparator table. Between executions only.
+func (rn *RenamingNetwork) Reset() {
+	rn.comps.Range(func(_ uint64, s tas.Sided) bool {
+		resetSided(s)
+		return true
+	})
+}
 
 func (rn *RenamingNetwork) comp(stage int, ci int32) tas.Sided {
 	key := uint64(stage)<<32 | uint64(uint32(ci))
@@ -73,12 +63,12 @@ func (rn *RenamingNetwork) comp(stage int, ci int32) tas.Sided {
 // Rename routes the process holding initial name uid ∈ [1, M] through the
 // network and returns its output name in [1, k].
 func (rn *RenamingNetwork) Rename(p shmem.Proc, uid uint64) uint64 {
-	if uid < 1 || uid > uint64(rn.net.W) {
-		panic(fmt.Sprintf("core: initial name %d outside [1,%d]", uid, rn.net.W))
+	if uid < 1 || uid > uint64(rn.bp.net.W) {
+		panic(fmt.Sprintf("core: initial name %d outside [1,%d]", uid, rn.bp.net.W))
 	}
 	wire := int32(uid - 1)
-	for s, stage := range rn.net.Stages {
-		ci := rn.lookup[s][wire]
+	for s, stage := range rn.bp.net.Stages {
+		ci := rn.bp.lookup[s][wire]
 		if ci < 0 {
 			continue
 		}
@@ -138,14 +128,21 @@ func NewStrongAdaptive(mem shmem.Mem, tree TempNamer, mk tas.SidedMaker) *Strong
 // NewStrongAdaptiveWithBase is NewStrongAdaptive with an explicit base
 // sorting network for the adaptive construction (the ablation knob of
 // BENCHMARKS.md; both available bases have depth exponent c = 2).
+// Compile-once + instantiate under the hood.
 func NewStrongAdaptiveWithBase(mem shmem.Mem, tree TempNamer, mk tas.SidedMaker, base sortnet.Base) *StrongAdaptive {
-	return &StrongAdaptive{
-		mem:   mem,
-		mk:    mk,
-		tree:  tree,
-		ad:    sortnet.SharedAdaptive(base),
-		comps: shmem.NewLazyTable[tas.Sided](mem),
-	}
+	return CompileStrongAdaptive(base).InstantiateWithTempNamer(mem, tree, mk)
+}
+
+// Reset restores the instance to its unentered state — the splitter tree
+// and every allocated comparator — keeping the lazily built object graph.
+// Between executions only. The TempNamer must be resettable (the standard
+// splitter tree is).
+func (sa *StrongAdaptive) Reset() {
+	sa.tree.(shmem.Resettable).Reset()
+	sa.comps.Range(func(_ uint64, s tas.Sided) bool {
+		resetSided(s)
+		return true
+	})
 }
 
 // Network exposes the underlying adaptive sorting network (benchmarks

@@ -71,47 +71,40 @@ func BatchLayout(n int) []Batch {
 // sweep (stage 2). Lemma 1: with high probability every process wins a
 // test-and-set during stage 1, after O(log² n) test-and-set probes.
 type BitBatching struct {
-	n       int
-	probes  int
-	batches []Batch
-	slots   []*tas.RatRace
+	bp    *BitBatchingBlueprint
+	slots []*tas.RatRace
 }
 
 var _ Renamer = (*BitBatching)(nil)
 
 // NewBitBatching allocates the n-slot vector from mem; internal two-process
-// objects use mk. n must be at least 1.
+// objects use mk. n must be at least 1. Compile-once + instantiate under
+// the hood (the layout blueprint is cached process-wide).
 func NewBitBatching(mem shmem.Mem, n int, mk tas.SidedMaker) *BitBatching {
-	if n < 1 {
-		panic("core: BitBatching needs n >= 1")
-	}
-	b := &BitBatching{
-		n:       n,
-		probes:  3 * log2ceil(n),
-		batches: BatchLayout(n),
-		slots:   make([]*tas.RatRace, n),
-	}
-	if b.probes < 1 {
-		b.probes = 1
-	}
-	for i := range b.slots {
-		b.slots[i] = tas.NewRatRace(mem, mk)
-	}
-	return b
+	return CompileBitBatching(n).Instantiate(mem, mk)
 }
 
 // Batches exposes the layout (Figure 1) for tests and the netcheck tool.
-func (b *BitBatching) Batches() []Batch { return b.batches }
+func (b *BitBatching) Batches() []Batch { return b.bp.batches }
+
+// Reset restores every slot to its unentered state, keeping the lazily
+// built object graph, so the instance serves the next execution without
+// reallocation. Between executions only.
+func (b *BitBatching) Reset() {
+	for _, s := range b.slots {
+		s.Reset()
+	}
+}
 
 // Rename competes for a name in [1, n]. It panics if the namespace is
 // exhausted, which can only happen if more than n distinct uids participate.
 func (b *BitBatching) Rename(p shmem.Proc, uid uint64) uint64 {
-	visited := make([]bool, b.n)
+	visited := make([]bool, b.bp.n)
 
 	// Stage 1: 3·log n distinct random probes in every batch but the last;
 	// every slot of the last batch.
-	last := len(b.batches) - 1
-	for i, batch := range b.batches {
+	last := len(b.bp.batches) - 1
+	for i, batch := range b.bp.batches {
 		if i == last {
 			for s := batch.Lo; s < batch.Hi; s++ {
 				if b.try(p, uid, s, visited) {
@@ -121,7 +114,7 @@ func (b *BitBatching) Rename(p shmem.Proc, uid uint64) uint64 {
 			continue
 		}
 		size := batch.Len()
-		tries := b.probes
+		tries := b.bp.probes
 		if tries > size {
 			tries = size
 		}
@@ -138,7 +131,7 @@ func (b *BitBatching) Rename(p shmem.Proc, uid uint64) uint64 {
 
 	// Stage 2: deterministic left-to-right sweep over not-yet-tried slots.
 	// Lemma 1 shows this stage is reached with probability at most 1/n^c.
-	for s := 0; s < b.n; s++ {
+	for s := 0; s < b.bp.n; s++ {
 		if visited[s] {
 			continue
 		}
@@ -146,7 +139,7 @@ func (b *BitBatching) Rename(p shmem.Proc, uid uint64) uint64 {
 			return uint64(s) + 1
 		}
 	}
-	panic(fmt.Sprintf("core: BitBatching namespace of %d exhausted for uid %d", b.n, uid))
+	panic(fmt.Sprintf("core: BitBatching namespace of %d exhausted for uid %d", b.bp.n, uid))
 }
 
 // try competes in slot s once, recording the visit.
@@ -195,6 +188,17 @@ var _ Renamer = (*LinearProbe)(nil)
 // NewLinearProbe allocates a growable probe list.
 func NewLinearProbe(mem shmem.Mem, mk tas.SidedMaker) *LinearProbe {
 	return &LinearProbe{mem: mem, mk: mk}
+}
+
+// Reset restores every probe slot to its unentered state, keeping the
+// grown list. Between executions only.
+func (l *LinearProbe) Reset() {
+	l.mu.Lock()
+	slots := l.slots
+	l.mu.Unlock()
+	for _, s := range slots {
+		s.Reset()
+	}
 }
 
 // slot returns the s-th test-and-set, growing the list lazily.

@@ -35,6 +35,13 @@ func NewWakeup(mem shmem.Mem, k int, ren Renamer) *Wakeup {
 	return &Wakeup{k: k, ren: ren, announce: mem.NewReg(0)}
 }
 
+// Reset restores the instance (and its renamer, when resettable) to the
+// unentered state. Between executions only.
+func (w *Wakeup) Reset() {
+	shmem.Restore(w.announce, 0)
+	shmem.TryReset(w.ren)
+}
+
 // Wake runs the protocol and returns 1 for at least one of the k
 // processes, 0 for the rest. uid must be a unique nonzero id.
 func (w *Wakeup) Wake(p shmem.Proc, uid uint64) int {

@@ -11,10 +11,17 @@
 // tests exercise both directions of that remark: the bitonic balancer
 // network counts under arbitrary concurrency, and one-token-per-wire
 // traffic through it assigns tight ranks just like a renaming network.
+//
+// The package follows the repository's two-phase object model: a Blueprint
+// is the runtime-independent wiring of Bitonic[w] (compiled once per width
+// and cached process-wide); Instantiate stamps the shared state — balancer
+// toggles and exit counters — onto a runtime as one register arena, and
+// Reset restores it for the next execution without reallocation.
 package countnet
 
 import (
 	"fmt"
+	"sync"
 
 	"repro/internal/shmem"
 )
@@ -33,99 +40,114 @@ func NewBalancer(mem shmem.Mem) *Balancer {
 
 // Traverse passes one token: true = top output.
 func (b *Balancer) Traverse(p shmem.Proc) bool {
+	return toggle(p, b.state)
+}
+
+// Reset restores the balancer to its initial (top-first) state.
+func (b *Balancer) Reset() {
+	shmem.Restore(b.state, 0)
+}
+
+// toggle bumps a balancer word and reports whether the token leaves on top.
+func toggle(p shmem.Proc, r shmem.CASReg) bool {
 	for {
-		s := b.state.Read(p)
-		if b.state.CompareAndSwap(p, s, s+1) {
+		s := r.Read(p)
+		if r.CompareAndSwap(p, s, s+1) {
 			return s%2 == 0
 		}
 	}
 }
 
-// gate is one balancer wired onto two physical wires: a token leaving on
-// top continues on wire A, on bottom on wire B.
-type gate struct {
+// wiring is one balancer wired onto two physical wires: a token leaving on
+// top continues on wire A, on bottom on wire B. Bal indexes the balancer's
+// shared word in the instantiated state arena.
+type wiring struct {
 	a, b int32
-	bal  *Balancer
+	bal  int32
 }
 
-// Network is the bitonic counting network Bitonic[w] of [26]: w must be a
-// power of two. Gates are grouped into parallel layers; any number of
-// tokens can enter on any wires concurrently.
-type Network struct {
+// Blueprint is the compiled, runtime-independent wiring of Bitonic[w]:
+// gates, parallel layers, and the logical output order. A Blueprint holds
+// no shared state and serves any number of instantiations on any runtime.
+type Blueprint struct {
 	width  int
-	gates  []gate // construction order (valid per-wire sequential order)
-	layers [][]gate
+	gates  []wiring // construction order (valid per-wire sequential order)
+	layers [][]wiring
 	// order maps logical output index to physical wire: the recursive
 	// merger wiring is a permutation, and the step property is stated in
 	// logical output order.
 	order []int
-	// exits[logical] counts tokens that left on that logical output.
-	exits []shmem.CASReg
 }
 
-// NewBitonic builds Bitonic[width] from mem. Width must be a power of two.
-func NewBitonic(mem shmem.Mem, width int) *Network {
+var blueprints sync.Map // width -> *Blueprint
+
+// CompileBitonic returns the process-wide cached blueprint of
+// Bitonic[width]. Width must be a power of two.
+func CompileBitonic(width int) *Blueprint {
 	if width < 1 || width&(width-1) != 0 {
 		panic(fmt.Sprintf("countnet: width %d is not a power of two", width))
 	}
-	n := &Network{width: width}
+	if bp, ok := blueprints.Load(width); ok {
+		return bp.(*Blueprint)
+	}
+	bp := &Blueprint{width: width}
 	wires := make([]int, width)
 	for i := range wires {
 		wires[i] = i
 	}
-	n.order = n.bitonic(mem, wires)
-	n.layer()
-	n.exits = make([]shmem.CASReg, width)
-	for i := range n.exits {
-		n.exits[i] = mem.NewCASReg(0)
-	}
-	return n
+	bp.order = bp.bitonic(wires)
+	bp.layer()
+	got, _ := blueprints.LoadOrStore(width, bp)
+	return got.(*Blueprint)
 }
 
 // layer packs the flat gate list into parallel layers with ASAP
 // scheduling, preserving the relative order of gates sharing a wire (the
 // same construction sortnet uses for comparator stages).
-func (n *Network) layer() {
-	last := make([]int, n.width)
-	for _, g := range n.gates {
+func (bp *Blueprint) layer() {
+	last := make([]int, bp.width)
+	for _, g := range bp.gates {
 		s := last[g.a]
 		if last[g.b] > s {
 			s = last[g.b]
 		}
-		if s == len(n.layers) {
-			n.layers = append(n.layers, nil)
+		if s == len(bp.layers) {
+			bp.layers = append(bp.layers, nil)
 		}
-		n.layers[s] = append(n.layers[s], g)
+		bp.layers[s] = append(bp.layers[s], g)
 		last[g.a], last[g.b] = s+1, s+1
 	}
 }
 
 // Width returns the number of wires.
-func (n *Network) Width() int { return n.width }
+func (bp *Blueprint) Width() int { return bp.width }
 
 // Depth returns the number of balancer layers.
-func (n *Network) Depth() int { return len(n.layers) }
+func (bp *Blueprint) Depth() int { return len(bp.layers) }
+
+// Balancers returns the number of balancers in the network.
+func (bp *Blueprint) Balancers() int { return len(bp.gates) }
 
 // bitonic recursively constructs Bitonic over the given logical wire list
 // and returns the logical output order (physical wires).
-func (n *Network) bitonic(mem shmem.Mem, wires []int) []int {
+func (bp *Blueprint) bitonic(wires []int) []int {
 	k := len(wires)
 	if k == 1 {
 		return wires
 	}
-	top := n.bitonic(mem, wires[:k/2])
-	bot := n.bitonic(mem, wires[k/2:])
-	return n.merger(mem, top, bot)
+	top := bp.bitonic(wires[:k/2])
+	bot := bp.bitonic(wires[k/2:])
+	return bp.merger(top, bot)
 }
 
 // merger implements Merger[2k] of [26]: it merges two sequences with the
 // step property into one. The even-indexed outputs of the first sequence
 // and odd-indexed of the second feed sub-merger A; the complements feed B;
 // a final layer of balancers interleaves A's and B's outputs.
-func (n *Network) merger(mem shmem.Mem, x, y []int) []int {
+func (bp *Blueprint) merger(x, y []int) []int {
 	k := len(x)
 	if k == 1 {
-		n.gates = append(n.gates, gate{a: int32(x[0]), b: int32(y[0]), bal: NewBalancer(mem)})
+		bp.gates = append(bp.gates, wiring{a: int32(x[0]), b: int32(y[0]), bal: int32(len(bp.gates))})
 		return []int{x[0], y[0]}
 	}
 	var ax, bx []int
@@ -145,30 +167,75 @@ func (n *Network) merger(mem shmem.Mem, x, y []int) []int {
 	}
 	// The two sub-mergers operate on disjoint wires, so their gates can
 	// share layers; the ASAP pass in layer() recovers the parallelism.
-	za := n.merger(mem, ax[:k/2], ax[k/2:])
-	zb := n.merger(mem, bx[:k/2], bx[k/2:])
+	za := bp.merger(ax[:k/2], ax[k/2:])
+	zb := bp.merger(bx[:k/2], bx[k/2:])
 	out := make([]int, 0, 2*k)
 	for i := 0; i < k; i++ {
-		n.gates = append(n.gates, gate{a: int32(za[i]), b: int32(zb[i]), bal: NewBalancer(mem)})
+		bp.gates = append(bp.gates, wiring{a: int32(za[i]), b: int32(zb[i]), bal: int32(len(bp.gates))})
 		out = append(out, za[i], zb[i])
 	}
 	return out
+}
+
+// Instantiate stamps the blueprint's shared state onto mem: one register
+// arena holding every balancer toggle followed by every exit counter.
+func (bp *Blueprint) Instantiate(mem shmem.Mem) *Network {
+	return &Network{
+		bp:    bp,
+		state: shmem.NewRegs(mem, len(bp.gates)+bp.width),
+	}
+}
+
+// Network is an instantiated bitonic counting network: the shared state of
+// one Blueprint on one runtime. Any number of tokens can enter on any
+// wires concurrently.
+type Network struct {
+	bp *Blueprint
+	// state holds the balancer toggles (indices 0..Balancers()-1) then the
+	// per-logical-output exit counters.
+	state shmem.RegArena
+}
+
+// NewBitonic builds Bitonic[width] from mem (compile-once, cached
+// process-wide, plus a fresh instantiation). Width must be a power of two.
+func NewBitonic(mem shmem.Mem, width int) *Network {
+	return CompileBitonic(width).Instantiate(mem)
+}
+
+// Blueprint returns the compiled wiring this instance was stamped from.
+func (n *Network) Blueprint() *Blueprint { return n.bp }
+
+// Width returns the number of wires.
+func (n *Network) Width() int { return n.bp.width }
+
+// Depth returns the number of balancer layers.
+func (n *Network) Depth() int { return len(n.bp.layers) }
+
+// Reset restores every balancer and exit counter to zero, so the instance
+// serves the next execution without reallocation. Between executions only.
+func (n *Network) Reset() {
+	n.state.Reset()
+}
+
+// exit returns the exit counter of the given logical output.
+func (n *Network) exit(logical int) shmem.CASReg {
+	return n.state.CASReg(len(n.bp.gates) + logical)
 }
 
 // Traverse sends one token in on the given input wire (0 ≤ in < width),
 // records its exit, and returns the logical output index it left on plus
 // the number of tokens that exited there before it.
 func (n *Network) Traverse(p shmem.Proc, in int) (logical int, prior uint64) {
-	if in < 0 || in >= n.width {
+	if in < 0 || in >= n.bp.width {
 		panic(fmt.Sprintf("countnet: input wire %d out of range", in))
 	}
 	wire := int32(in)
-	for _, layer := range n.layers {
+	for _, layer := range n.bp.layers {
 		for _, g := range layer {
 			if wire != g.a && wire != g.b {
 				continue
 			}
-			if g.bal.Traverse(p) {
+			if toggle(p, n.state.CASReg(int(g.bal))) {
 				wire = g.a
 			} else {
 				wire = g.b
@@ -177,7 +244,7 @@ func (n *Network) Traverse(p shmem.Proc, in int) (logical int, prior uint64) {
 		}
 	}
 	logical = -1
-	for l, phys := range n.order {
+	for l, phys := range n.bp.order {
 		if int32(phys) == wire {
 			logical = l
 			break
@@ -187,8 +254,8 @@ func (n *Network) Traverse(p shmem.Proc, in int) (logical int, prior uint64) {
 		panic("countnet: token left on unknown wire")
 	}
 	for {
-		c := n.exits[logical].Read(p)
-		if n.exits[logical].CompareAndSwap(p, c, c+1) {
+		c := n.exit(logical).Read(p)
+		if n.exit(logical).CompareAndSwap(p, c, c+1) {
 			return logical, c
 		}
 	}
@@ -199,17 +266,17 @@ func (n *Network) Traverse(p shmem.Proc, in int) (logical int, prior uint64) {
 // counter. Values across all callers are distinct and — at quiescence —
 // consecutive from 1.
 func (n *Network) Next(p shmem.Proc) uint64 {
-	in := int(p.Coin(uint64(n.width)))
+	in := int(p.Coin(uint64(n.bp.width)))
 	logical, c := n.Traverse(p, in)
-	return uint64(logical) + uint64(n.width)*c + 1
+	return uint64(logical) + uint64(n.bp.width)*c + 1
 }
 
 // ExitCounts reads the per-logical-output exit counters (for the step
 // property checks).
 func (n *Network) ExitCounts(p shmem.Proc) []uint64 {
-	out := make([]uint64, n.width)
-	for i, r := range n.exits {
-		out[i] = r.Read(p)
+	out := make([]uint64, n.bp.width)
+	for i := range out {
+		out[i] = n.exit(i).Read(p)
 	}
 	return out
 }

@@ -52,11 +52,11 @@ func TestBitonicStructure(t *testing.T) {
 			t.Errorf("w=%d: depth %d, want %d", w, n.Depth(), want)
 		}
 		// The output order must be a permutation of the wires.
-		perm := append([]int(nil), n.order...)
+		perm := append([]int(nil), n.bp.order...)
 		sort.Ints(perm)
 		for i, p := range perm {
 			if p != i {
-				t.Fatalf("w=%d: output order %v is not a permutation", w, n.order)
+				t.Fatalf("w=%d: output order %v is not a permutation", w, n.bp.order)
 			}
 		}
 	}

@@ -47,6 +47,12 @@ func pack(version, val uint64) uint64 {
 	return version<<valueBits | val
 }
 
+// Reset restores the register to init with a zero version stamp (between
+// executions only) — the state a freshly allocated register has.
+func (r *Reg) Reset(init uint64) {
+	shmem.Restore(r.w, pack(0, init))
+}
+
 // LL load-links the register: it returns the current value and a token for
 // a later SC or Validate. One step.
 func (r *Reg) LL(p shmem.Proc) (val, token uint64) {
@@ -104,6 +110,12 @@ func NewCompiledReg(mem shmem.Mem, init uint64) *CompiledReg {
 	return &CompiledReg{r: New(mem, init)}
 }
 
+// Restore resets the compiled register between executions; it implements
+// shmem.Restorer so compiled registers compose with object Reset methods.
+func (c *CompiledReg) Restore(v uint64) {
+	c.r.Reset(v)
+}
+
 // Read performs LL and discards the link.
 func (c *CompiledReg) Read(p shmem.Proc) uint64 {
 	v, _ := c.r.LL(p)
@@ -131,6 +143,12 @@ var (
 // NewCompiledTAS allocates a TAS compiled to LL/SC.
 func NewCompiledTAS(mem shmem.Mem) *CompiledTAS {
 	return &CompiledTAS{r: New(mem, 0)}
+}
+
+// Reset restores the compiled TAS to its unwon state (between executions
+// only).
+func (c *CompiledTAS) Reset() {
+	c.r.Reset(0)
 }
 
 // TestAndSet returns true for exactly the first linearized caller.

@@ -2,6 +2,7 @@ package maxreg
 
 import (
 	"fmt"
+	"sync"
 
 	"repro/internal/shmem"
 )
@@ -23,14 +24,22 @@ import (
 // linearizable baseline that the monotone counter beats by a log factor.
 type AACCounter struct {
 	n      int
-	leaves []shmem.Reg
-	nodes  []MaxReg // heap layout: node i has children 2i and 2i+1; leaf j is node n+j
+	leaves shmem.RegArena // per-process leaf registers, bulk-allocated
+	nodes  []MaxReg       // heap layout: node i has children 2i and 2i+1; leaf j is node n+j
 }
 
-// NewAACCounter builds the counter for up to n incrementing processes
-// (process ids 0..n−1; readers are unrestricted). n is rounded up to a
-// power of two.
-func NewAACCounter(mem shmem.Mem, n int) *AACCounter {
+// AACBlueprint is the runtime-independent shape of an AACCounter: the
+// capacity rounded to a power of two (the heap layout is implied by it).
+// Compiled once per n and cached process-wide.
+type AACBlueprint struct {
+	size int
+}
+
+var aacBlueprints sync.Map // n (rounded) -> *AACBlueprint
+
+// CompileAAC returns the cached blueprint for up to n incrementing
+// processes. n is rounded up to a power of two.
+func CompileAAC(n int) *AACBlueprint {
 	if n < 1 {
 		panic("maxreg: AACCounter needs n >= 1")
 	}
@@ -38,24 +47,52 @@ func NewAACCounter(mem shmem.Mem, n int) *AACCounter {
 	for size < n {
 		size *= 2
 	}
+	if bp, ok := aacBlueprints.Load(size); ok {
+		return bp.(*AACBlueprint)
+	}
+	bp := &AACBlueprint{size: size}
+	got, _ := aacBlueprints.LoadOrStore(size, bp)
+	return got.(*AACBlueprint)
+}
+
+// Size returns the rounded process capacity.
+func (bp *AACBlueprint) Size() int { return bp.size }
+
+// Instantiate stamps the counter's shared state onto mem: the leaf
+// registers come from one bulk arena; internal nodes are unbounded max
+// registers (lazily grown trees of their own).
+func (bp *AACBlueprint) Instantiate(mem shmem.Mem) *AACCounter {
 	c := &AACCounter{
-		n:      size,
-		leaves: make([]shmem.Reg, size),
-		nodes:  make([]MaxReg, size),
+		n:      bp.size,
+		leaves: shmem.NewRegs(mem, bp.size),
+		nodes:  make([]MaxReg, bp.size),
 	}
-	for i := range c.leaves {
-		c.leaves[i] = mem.NewReg(0)
-	}
-	for i := 1; i < size; i++ {
+	for i := 1; i < bp.size; i++ {
 		c.nodes[i] = NewUnbounded(mem)
 	}
 	return c
 }
 
+// NewAACCounter builds the counter for up to n incrementing processes
+// (process ids 0..n−1; readers are unrestricted). n is rounded up to a
+// power of two. Compile-once + instantiate under the hood.
+func NewAACCounter(mem shmem.Mem, n int) *AACCounter {
+	return CompileAAC(n).Instantiate(mem)
+}
+
+// Reset restores the counter to zero, keeping the allocated node trees.
+// Between executions only.
+func (c *AACCounter) Reset() {
+	c.leaves.Reset()
+	for i := 1; i < c.n; i++ {
+		c.nodes[i].(*Unbounded).Reset()
+	}
+}
+
 // value reads tree position idx (internal max register or leaf register).
 func (c *AACCounter) value(p shmem.Proc, idx int) uint64 {
 	if idx >= c.n {
-		return c.leaves[idx-c.n].Read(p)
+		return c.leaves.Reg(idx - c.n).Read(p)
 	}
 	return c.nodes[idx].ReadMax(p)
 }
@@ -68,7 +105,7 @@ func (c *AACCounter) Inc(p shmem.Proc) {
 		panic(fmt.Sprintf("maxreg: AACCounter built for %d processes, got id %d", c.n, id))
 	}
 	leaf := c.n + id
-	c.leaves[id].Write(p, c.leaves[id].Read(p)+1)
+	c.leaves.Reg(id).Write(p, c.leaves.Reg(id).Read(p)+1)
 	for v := leaf / 2; v >= 1; v /= 2 {
 		sum := c.value(p, 2*v) + c.value(p, 2*v+1)
 		c.nodes[v].WriteMax(p, sum)
@@ -78,7 +115,7 @@ func (c *AACCounter) Inc(p shmem.Proc) {
 // Read returns the counter value.
 func (c *AACCounter) Read(p shmem.Proc) uint64 {
 	if c.n == 1 {
-		return c.leaves[0].Read(p)
+		return c.leaves.Reg(0).Read(p)
 	}
 	return c.nodes[1].ReadMax(p)
 }

@@ -58,6 +58,23 @@ func NewBounded(mem shmem.Mem, m uint64) *Bounded {
 // half returns the split point: left covers [0, half), right [half, m).
 func (b *Bounded) half() uint64 { return (b.m + 1) / 2 }
 
+// Reset restores the register to its initial (all-zero) state, keeping the
+// lazily allocated tree so the next execution runs allocation-free.
+// Between executions only.
+func (b *Bounded) Reset() {
+	if b.m == 1 {
+		return
+	}
+	shmem.Restore(b.high, 0)
+	b.mu.Lock()
+	left, right := b.left, b.right
+	b.mu.Unlock()
+	if left != nil {
+		left.Reset()
+		right.Reset()
+	}
+}
+
 func (b *Bounded) children() (*Bounded, *Bounded) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
@@ -138,6 +155,18 @@ func (u *Unbounded) node(j int) *spineNode {
 		})
 	}
 	return u.spine[j]
+}
+
+// Reset restores the register to its initial (empty) state, keeping the
+// allocated spine. Between executions only.
+func (u *Unbounded) Reset() {
+	u.mu.Lock()
+	spine := u.spine
+	u.mu.Unlock()
+	for _, n := range spine {
+		shmem.Restore(n.deeper, 0)
+		n.tree.Reset()
+	}
 }
 
 // base returns the smallest value stored at spine node j: 2^j − 1.

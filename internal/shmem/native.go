@@ -31,7 +31,10 @@ type Native struct {
 	_     [56]byte
 }
 
-var _ Runtime = (*Native)(nil)
+var (
+	_ Runtime  = (*Native)(nil)
+	_ ArenaMem = (*Native)(nil)
+)
 
 // NativeOption configures a Native runtime.
 type NativeOption func(*Native)
@@ -130,6 +133,9 @@ func (r *nativeReg) CompareAndSwap(p Proc, old, new uint64) bool {
 	return r.v.CompareAndSwap(old, new)
 }
 
+// Restore resets the register between executions (no step accounting).
+func (r *nativeReg) Restore(v uint64) { r.v.Store(v) }
+
 // nativeRegPadded pads the register word to a full cache line: renaming
 // networks allocate registers in droves, and adjacent hot registers (the
 // two sides of a test-and-set) would otherwise false-share under real
@@ -152,6 +158,42 @@ func (r *nativeRegPadded) Write(p Proc, v uint64) {
 func (r *nativeRegPadded) CompareAndSwap(p Proc, old, new uint64) bool {
 	p.Step(OpCAS)
 	return r.v.CompareAndSwap(old, new)
+}
+
+// Restore resets the register between executions (no step accounting).
+func (r *nativeRegPadded) Restore(v uint64) { r.v.Store(v) }
+
+// NewRegs bulk-allocates n zero-initialized registers in one contiguous
+// arena (one allocation instead of n), with the runtime's register layout.
+func (n *Native) NewRegs(count int) RegArena {
+	if n.pad {
+		return nativePaddedArena(make([]nativeRegPadded, count))
+	}
+	return nativeArena(make([]nativeReg, count))
+}
+
+type nativeArena []nativeReg
+
+func (a nativeArena) Len() int            { return len(a) }
+func (a nativeArena) Reg(i int) Reg       { return &a[i] }
+func (a nativeArena) CASReg(i int) CASReg { return &a[i] }
+
+func (a nativeArena) Reset() {
+	for i := range a {
+		a[i].v.Store(0)
+	}
+}
+
+type nativePaddedArena []nativeRegPadded
+
+func (a nativePaddedArena) Len() int            { return len(a) }
+func (a nativePaddedArena) Reg(i int) Reg       { return &a[i] }
+func (a nativePaddedArena) CASReg(i int) CASReg { return &a[i] }
+
+func (a nativePaddedArena) Reset() {
+	for i := range a {
+		a[i].v.Store(0)
+	}
 }
 
 type nativeProc struct {

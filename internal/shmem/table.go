@@ -152,6 +152,25 @@ func (t *LazyTable[V]) grow() {
 	}
 }
 
+// Range calls f for every object in the table until f returns false. The
+// iteration order is unspecified. Range is bookkeeping (Reset walks the
+// instantiated object graph with it) and must not run concurrently with
+// Insert on serial tables.
+func (t *LazyTable[V]) Range(f func(key uint64, v V) bool) {
+	if t.serial {
+		if t.hasZero && !f(0, t.zeroVal) {
+			return
+		}
+		for i := range t.slots {
+			if t.slots[i].key != 0 && !f(t.slots[i].key, t.slots[i].val) {
+				return
+			}
+		}
+		return
+	}
+	t.m.Range(func(k, v any) bool { return f(k.(uint64), v.(V)) })
+}
+
 // Len returns the number of objects created so far (a space probe).
 func (t *LazyTable[V]) Len() int {
 	if t.serial {

@@ -188,6 +188,7 @@ type Runtime struct {
 
 var _ shmem.Runtime = (*Runtime)(nil)
 var _ shmem.Serial = (*Runtime)(nil)
+var _ shmem.ArenaMem = (*Runtime)(nil)
 
 // SerialMem marks the simulator as single-threaded: exactly one process
 // coroutine (or the scheduler) runs at any moment, so objects allocated
@@ -247,13 +248,57 @@ func (r *Runtime) NewReg(init uint64) shmem.Reg { return r.newReg(init) }
 // NewCASReg allocates a simulated register with unit-cost CAS.
 func (r *Runtime) NewCASReg(init uint64) shmem.CASReg { return r.newReg(init) }
 
+// NewRegs bulk-allocates n zero-initialized registers in one contiguous
+// arena — the instantiation hook of the two-phase object model.
+func (r *Runtime) NewRegs(n int) shmem.RegArena {
+	return simArena(make([]reg, n))
+}
+
+type simArena []reg
+
+func (a simArena) Len() int                  { return len(a) }
+func (a simArena) Reg(i int) shmem.Reg       { return &a[i] }
+func (a simArena) CASReg(i int) shmem.CASReg { return &a[i] }
+
+func (a simArena) Reset() {
+	for i := range a {
+		a[i].v = 0
+	}
+}
+
+// Reset rewinds the runtime for another execution: a fresh seed and
+// adversary, the clock back at zero, no crashes, no processes. Registers
+// and arenas already allocated from this runtime stay valid — that is the
+// point: one instantiated object graph (reset via its own Reset methods)
+// serves many executions without reallocation. For a fixed (seed,
+// adversary) a run after Reset is bit-identical to a run on a fresh
+// runtime with a freshly instantiated graph.
+//
+// The step cap and trace observer are retained. The adversary must be
+// fresh (schedules carry state); passing a used adversary replays its
+// remaining state, not the schedule from the top.
+func (r *Runtime) Reset(seed uint64, adv Adversary) {
+	r.seed = seed
+	r.adv = adv
+	r.clock = 0
+	r.view = View{}
+	r.procs = nil
+	r.crashed = nil
+	r.aborting = false
+	r.draining = false
+	r.hasPending = false
+	r.panicVal = nil
+	r.used = false
+}
+
 type crashSentinel struct{}
 
-// Run executes body on k simulated processes. It may be called once per
-// Runtime. It panics with the original value if a process panics.
+// Run executes body on k simulated processes. Each Run consumes the
+// runtime; call Reset (new seed, fresh adversary) before running again.
+// It panics with the original value if a process panics.
 func (r *Runtime) Run(k int, body func(p shmem.Proc)) *shmem.Stats {
 	if r.used {
-		panic("sim: Runtime.Run called twice; allocate a fresh Runtime per run")
+		panic("sim: Runtime.Run called twice; Reset the Runtime (or allocate a fresh one) between runs")
 	}
 	r.used = true
 	r.procs = make([]proc, k)
@@ -482,6 +527,9 @@ func (p *proc) StepsTaken() uint64 { return p.counts.Steps() }
 type reg struct {
 	v uint64
 }
+
+// Restore resets the register between executions (no step accounting).
+func (r *reg) Restore(v uint64) { r.v = v }
 
 // step devirtualizes the Proc on the register hot path: registers from this
 // runtime are driven by its own procs in every valid program, and the direct

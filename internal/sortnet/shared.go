@@ -1,0 +1,20 @@
+package sortnet
+
+import "sync"
+
+// sharedOEMNets caches materialized Batcher networks by width. A Network
+// is immutable once materialized and holds no shared state, so one
+// instance serves any number of renaming-network instantiations — the
+// same reasoning that makes SharedAdaptive safe, extended to explicit
+// nets (the compiled-blueprint half of the two-phase object model).
+var sharedOEMNets sync.Map // width -> *Network
+
+// SharedOEMNet returns the process-wide cached materialization of
+// Batcher's odd-even mergesort network on n wires.
+func SharedOEMNet(n int) *Network {
+	if v, ok := sharedOEMNets.Load(n); ok {
+		return v.(*Network)
+	}
+	got, _ := sharedOEMNets.LoadOrStore(n, OddEvenMergeNet(n))
+	return got.(*Network)
+}

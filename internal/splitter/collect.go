@@ -38,6 +38,19 @@ func NewCollect(mem shmem.Mem) *Collect {
 	}
 }
 
+// Reset restores the collect object to its empty state, keeping the
+// allocated tree and value registers. Handles from earlier executions are
+// stale after Reset; participants re-Join. Between executions only.
+func (c *Collect) Reset() {
+	c.tree.Reset()
+	c.mu <- struct{}{}
+	for _, r := range c.vals {
+		shmem.Restore(r, 0)
+	}
+	<-c.mu
+	c.frontier.(*maxreg.Unbounded).Reset()
+}
+
 func (c *Collect) val(idx uint64) shmem.Reg {
 	c.mu <- struct{}{}
 	defer func() { <-c.mu }()

@@ -35,6 +35,13 @@ func NewSplitter(mem shmem.Mem) *Splitter {
 	return &Splitter{x: mem.NewReg(0), y: mem.NewReg(0)}
 }
 
+// Reset restores the splitter to its initial state (no contender has
+// entered). Bookkeeping between executions; charges no steps.
+func (s *Splitter) Reset() {
+	shmem.Restore(s.x, 0)
+	shmem.Restore(s.y, 0)
+}
+
 // Visit runs the splitter protocol for the contender with the given id.
 // It performs at most 4 register steps.
 //
@@ -69,11 +76,29 @@ func (s *Splitter) Visit(p shmem.Proc, id uint64) Outcome {
 type Tree struct {
 	mem   shmem.Mem
 	nodes *shmem.LazyTable[*Splitter]
+
+	// On serial runtimes splitter shells and registers are chunk-allocated:
+	// node allocation sits on the descent path and would otherwise cost
+	// three allocations per node. arenas keeps every register chunk ever
+	// handed out so Reset can restore the whole tree with a few sweeps.
+	serial bool
+	shells []Splitter
+	chunk  shmem.RegArena
+	off    int
+	arenas []shmem.RegArena
 }
+
+// treeChunk is the number of splitters allocated per chunk (two registers
+// each).
+const treeChunk = 32
 
 // NewTree allocates an empty splitter tree backed by mem.
 func NewTree(mem shmem.Mem) *Tree {
-	return &Tree{mem: mem, nodes: shmem.NewLazyTable[*Splitter](mem)}
+	return &Tree{
+		mem:    mem,
+		nodes:  shmem.NewLazyTable[*Splitter](mem),
+		serial: shmem.IsSerial(mem),
+	}
 }
 
 // node returns the splitter at index idx, allocating it on first use.
@@ -81,7 +106,42 @@ func (t *Tree) node(idx uint64) *Splitter {
 	if s, ok := t.nodes.Lookup(idx); ok {
 		return s
 	}
-	return t.nodes.Insert(idx, NewSplitter(t.mem))
+	return t.nodes.Insert(idx, t.newSplitter())
+}
+
+// newSplitter allocates one splitter, chunked on serial runtimes (the
+// simulator is single-threaded, so the chunk cursor needs no lock).
+func (t *Tree) newSplitter() *Splitter {
+	if !t.serial {
+		return NewSplitter(t.mem)
+	}
+	if t.off == treeChunk || t.chunk == nil {
+		t.shells = make([]Splitter, treeChunk)
+		t.chunk = shmem.NewRegs(t.mem, 2*treeChunk)
+		t.arenas = append(t.arenas, t.chunk)
+		t.off = 0
+	}
+	s := &t.shells[t.off]
+	s.x = t.chunk.Reg(2 * t.off)
+	s.y = t.chunk.Reg(2*t.off + 1)
+	t.off++
+	return s
+}
+
+// Reset restores every allocated splitter to its initial state, keeping
+// the node table: the next execution reuses the same nodes with zero
+// allocation. Must only run between executions.
+func (t *Tree) Reset() {
+	if t.serial {
+		for _, a := range t.arenas {
+			a.Reset()
+		}
+		return
+	}
+	t.nodes.Range(func(_ uint64, s *Splitter) bool {
+		s.Reset()
+		return true
+	})
 }
 
 // Size returns the number of allocated splitter nodes (a space-complexity

@@ -81,6 +81,29 @@ func (r *RatRace) node(idx uint64) *raceNode {
 // object's adaptive space footprint.
 func (r *RatRace) Registers() int { return r.tree.Size() }
 
+// Reset restores the object to its unentered state, keeping the lazily
+// built splitter tree and tournament nodes so the next execution runs
+// allocation-free. Must only run between executions.
+func (r *RatRace) Reset() {
+	r.tree.Reset()
+	r.nodes.Range(func(_ uint64, n *raceNode) bool {
+		resetSided(n.children)
+		resetSided(n.owner)
+		return true
+	})
+	if r.fast != nil {
+		r.fast.Reset()
+		resetSided(r.final)
+	}
+}
+
+// resetSided resets any of the Sided implementations (TwoProc, Unit, the
+// LL/SC-compiled TAS). A maker producing an unresettable flavor makes the
+// owning object unresettable too — re-instantiate instead.
+func resetSided(s Sided) {
+	s.(shmem.Resettable).Reset()
+}
+
 // TestAndSet runs the contender with the given distinct nonzero id.
 func (r *RatRace) TestAndSet(p shmem.Proc, id uint64) bool {
 	p.Note(shmem.EvTASEnter)

@@ -16,7 +16,11 @@
 // Tromp–Vitányi protocol.
 package tas
 
-import "repro/internal/shmem"
+import (
+	"sync"
+
+	"repro/internal/shmem"
+)
 
 // TAS is a one-shot multi-process test-and-set object. TestAndSet returns
 // true for exactly one caller (the winner); every other caller, in every
@@ -67,6 +71,11 @@ func (t *Unit) TestAndSetSide(p shmem.Proc, _ int) bool {
 	return t.w.CompareAndSwap(p, 0, 1)
 }
 
+// Reset restores the object to its unwon state (between executions only).
+func (t *Unit) Reset() {
+	shmem.Restore(t.w, 0)
+}
+
 // TwoProc is a randomized two-process test-and-set built from three shared
 // words: one single-writer register per side plus one arbitration word.
 //
@@ -114,27 +123,104 @@ func (t *TwoProc) init(mem shmem.Mem) {
 	t.w = mem.NewCASReg(0)
 }
 
-// MakeTwoProcPool returns a register-TAS maker that batch-allocates TwoProc
-// objects in chunks. Renaming runs materialize thousands of comparator
-// objects, and on serial runtimes (the simulator — see shmem.Serial) the
-// maker is called by one goroutine at a time, so the chunk needs no lock.
-// For concurrent runtimes it falls back to plain MakeTwoProc. The objects
-// built are identical to MakeTwoProc's, registers allocated in the same
-// order, so simulated executions are unchanged.
+// Reset restores the object to its unentered state (between executions
+// only).
+func (t *TwoProc) Reset() {
+	shmem.Restore(t.s[0], 0)
+	shmem.Restore(t.s[1], 0)
+	shmem.Restore(t.w, 0)
+}
+
+// poolChunk is the number of TwoProc objects (three registers each) a Pool
+// allocates per chunk.
+const poolChunk = 32
+
+// Pool batch-allocates TwoProc objects and is reusable across executions:
+// Reset restores every object it ever handed out, so an instantiated
+// object graph whose comparators came from the pool serves the next
+// execution without reallocating — with bit-identical step counts per
+// (seed, adversary), since all shared words are zero again (the pooled
+// reuse test pins this).
+//
+// On serial runtimes (the simulator — see shmem.Serial) the maker is
+// called by one goroutine at a time, so the chunk cursor needs no lock and
+// registers come from bulk arenas; on concurrent runtimes handed-out
+// objects are tracked under a lock (construction is off the step-counted
+// hot path).
+type Pool struct {
+	mem    shmem.Mem
+	serial bool
+
+	// Serial path: TwoProc shells and their registers, chunked.
+	shells []TwoProc
+	chunk  shmem.RegArena
+	off    int
+	arenas []shmem.RegArena
+
+	// Concurrent path: individually allocated objects, tracked for Reset.
+	mu   sync.Mutex
+	objs []*TwoProc
+}
+
+// NewPool returns an empty pool over mem.
+func NewPool(mem shmem.Mem) *Pool {
+	return &Pool{mem: mem, serial: shmem.IsSerial(mem)}
+}
+
+// Make is a SidedMaker drawing from the pool. The mem argument must be the
+// pool's own runtime (the SidedMaker signature carries it for makers
+// without captured state).
+func (pl *Pool) Make(shmem.Mem) Sided {
+	if !pl.serial {
+		t := NewTwoProc(pl.mem)
+		pl.mu.Lock()
+		pl.objs = append(pl.objs, t)
+		pl.mu.Unlock()
+		return t
+	}
+	if pl.off == poolChunk || pl.chunk == nil {
+		pl.shells = make([]TwoProc, poolChunk)
+		pl.chunk = shmem.NewRegs(pl.mem, 3*poolChunk)
+		pl.arenas = append(pl.arenas, pl.chunk)
+		pl.off = 0
+	}
+	t := &pl.shells[pl.off]
+	t.s = [2]shmem.Reg{pl.chunk.Reg(3 * pl.off), pl.chunk.Reg(3*pl.off + 1)}
+	t.w = pl.chunk.CASReg(3*pl.off + 2)
+	pl.off++
+	return t
+}
+
+// Reset restores every object the pool has handed out to its unentered
+// state: one sweep per arena on serial runtimes. Must only run between
+// executions.
+func (pl *Pool) Reset() {
+	if pl.serial {
+		for _, a := range pl.arenas {
+			a.Reset()
+		}
+		return
+	}
+	pl.mu.Lock()
+	defer pl.mu.Unlock()
+	for _, t := range pl.objs {
+		t.Reset()
+	}
+}
+
+// MakeTwoProcPool returns a register-TAS maker that batch-allocates
+// TwoProc objects from a fresh Pool on serial runtimes. The objects built
+// are identical to MakeTwoProc's, so simulated executions are unchanged.
+// On concurrent runtimes it returns plain MakeTwoProc: an anonymous pool's
+// Reset is unreachable (object graphs reset through their own tables), so
+// the concurrent path's per-allocation lock and tracking would be pure
+// overhead. Callers that want pooled reuse across executions hold the
+// Pool themselves (NewPool) and call its Reset.
 func MakeTwoProcPool(mem shmem.Mem) SidedMaker {
 	if !shmem.IsSerial(mem) {
 		return MakeTwoProc
 	}
-	var chunk []TwoProc
-	return func(m shmem.Mem) Sided {
-		if len(chunk) == 0 {
-			chunk = make([]TwoProc, 32)
-		}
-		t := &chunk[0]
-		chunk = chunk[1:]
-		t.init(m)
-		return t
-	}
+	return NewPool(mem).Make
 }
 
 func packRound(round, coin uint64) uint64 { return round<<1 | coin }

@@ -7,7 +7,6 @@ import (
 	"repro/internal/shmem"
 	"repro/internal/sim"
 	"repro/internal/sortnet"
-	"repro/internal/splitter"
 	"repro/internal/tas"
 )
 
@@ -65,8 +64,10 @@ type (
 
 // NewSim returns the deterministic simulator runtime: processes advance in
 // lock-step under adv's schedule, coin flips derive from seed, and the
-// returned Stats carry exact per-process step counts. Each SimRuntime runs
-// one execution (call NewSim again for the next).
+// returned Stats carry exact per-process step counts. Each Run consumes
+// the runtime; rt.Reset(seed, adv) rewinds it for the next execution while
+// keeping every register (and therefore every instantiated object graph)
+// valid — the repeated-execution fast path.
 func NewSim(seed uint64, adv Adversary) *SimRuntime {
 	return sim.New(seed, adv)
 }
@@ -156,28 +157,33 @@ func Scripted(script []int) Adversary { return sim.NewReplay(script) }
 // consecutive steps before the next takes over.
 func Oscillator(burst int) Adversary { return sim.NewOscillator(burst) }
 
-// Option configures object constructors.
+// Option configures object constructors. Options are runtime-independent:
+// they are part of an object's compiled blueprint, not of its instantiation.
 type Option func(*options)
 
 type options struct {
 	hardware bool
 	base     sortnet.Base
-	maker    tas.SidedMaker
 }
 
-func buildOptions(opts []Option, mem Mem) options {
+// compileOptions folds the option list into the blueprint-side settings.
+func compileOptions(opts []Option) options {
 	o := options{base: sortnet.BaseOEM}
 	for _, f := range opts {
 		f(&o)
 	}
-	if o.hardware {
-		o.maker = tas.MakeUnit
-	} else {
-		// Register-based TAS objects are allocated in droves; the pool maker
-		// batches them on serial (simulator) runtimes.
-		o.maker = tas.MakeTwoProcPool(mem)
-	}
 	return o
+}
+
+// maker resolves the internal two-process TAS maker for one instantiation
+// on mem — the runtime-dependent half of the options.
+func (o options) maker(mem Mem) tas.SidedMaker {
+	if o.hardware {
+		return tas.MakeUnit
+	}
+	// Register-based TAS objects are allocated in droves; the pool maker
+	// batches them on serial (simulator) runtimes.
+	return tas.MakeTwoProcPool(mem)
 }
 
 // WithHardwareTAS makes internal two-process test-and-set objects a single
@@ -204,35 +210,136 @@ func WithBalancedBase() Option {
 	return func(o *options) { o.base = sortnet.BaseBalanced }
 }
 
+// Two-phase construction. Every object is split into a compiled
+// *blueprint* — the runtime-independent shape: topology, geometry,
+// layouts, compiled once per parameter point and cached process-wide — and
+// an *instantiation* that stamps shared state onto one runtime. The NewX
+// constructors below compile-and-instantiate in one call; the CompileX
+// functions expose the blueprint so serving loops can instantiate the same
+// shape on many runtimes, and instantiated objects support Reset so one
+// instantiation serves many executions without reallocation:
+//
+//	bp := renaming.CompileRenaming()        // once per process
+//	rt := renaming.NewSim(seed0, adv0)
+//	ren := bp.Instantiate(rt)               // once per object graph
+//	rt.Run(k, body)
+//	for seed, adv := range executions {
+//	    ren.Reset()                         // zero the shared state in place
+//	    rt.Reset(seed, adv)                 // rewind the runtime
+//	    rt.Run(k, body)                     // allocation-free after warmup
+//	}
+//
+// For a fixed (seed, adversary) the reset path is bit-identical to fresh
+// construction (the reuse equivalence tests pin this down).
+
+// Resettable is implemented by every instantiated object in this package:
+// Reset restores the shared state to its just-instantiated value without
+// reallocating the object graph. Reset must only run between executions.
+type Resettable = shmem.Resettable
+
+// RenamingBlueprint is the compiled shape of the Section 6.2 strong
+// adaptive renamer.
+type RenamingBlueprint struct {
+	o  options
+	bp *core.StrongAdaptiveBlueprint
+}
+
+// CompileRenaming returns the process-wide cached blueprint for the strong
+// adaptive renaming object with the given options.
+func CompileRenaming(opts ...Option) *RenamingBlueprint {
+	o := compileOptions(opts)
+	return &RenamingBlueprint{o: o, bp: core.CompileStrongAdaptive(o.base)}
+}
+
+// Instantiate stamps the blueprint's shared state onto mem.
+func (b *RenamingBlueprint) Instantiate(mem Mem) *StrongAdaptive {
+	return b.bp.Instantiate(mem, b.o.maker(mem))
+}
+
 // NewRenaming builds the strong adaptive renaming object of Section 6.2 on
 // mem: names come out 1..k for any contention k, Rename costs O(log k)
 // expected test-and-set entries. Each invocation needs a globally unique
 // nonzero uid (process id + 1 for one-shot use).
 func NewRenaming(mem Mem, opts ...Option) *StrongAdaptive {
-	o := buildOptions(opts, mem)
-	return core.NewStrongAdaptiveWithBase(mem, splitter.NewTree(mem), o.maker, o.base)
+	return CompileRenaming(opts...).Instantiate(mem)
+}
+
+// BitBatchingBlueprint is the compiled shape of the Section 4 algorithm.
+type BitBatchingBlueprint struct {
+	o  options
+	bp *core.BitBatchingBlueprint
+}
+
+// CompileBitBatching returns the process-wide cached blueprint for
+// renaming into exactly n names.
+func CompileBitBatching(n int, opts ...Option) *BitBatchingBlueprint {
+	return &BitBatchingBlueprint{o: compileOptions(opts), bp: core.CompileBitBatching(n)}
+}
+
+// Instantiate stamps the blueprint's shared state onto mem.
+func (b *BitBatchingBlueprint) Instantiate(mem Mem) *BitBatching {
+	return b.bp.Instantiate(mem, b.o.maker(mem))
 }
 
 // NewBitBatchingRenaming builds the Section 4 algorithm: renaming into
 // exactly n names for up to n participants, O(log² n) test-and-set probes
 // per process w.h.p.
 func NewBitBatchingRenaming(mem Mem, n int, opts ...Option) *BitBatching {
-	o := buildOptions(opts, mem)
-	return core.NewBitBatching(mem, n, o.maker)
+	return CompileBitBatching(n, opts...).Instantiate(mem)
+}
+
+// NetworkRenamingBlueprint is the compiled shape of the Section 5
+// construction: the materialized sorting network (shared process-wide) and
+// its comparator lookup tables.
+type NetworkRenamingBlueprint struct {
+	o  options
+	bp *core.RenamingNetworkBlueprint
+}
+
+// CompileNetworkRenaming returns the process-wide cached blueprint of the
+// Section 5 construction over Batcher's odd-even mergesort network of
+// width m.
+func CompileNetworkRenaming(m int, opts ...Option) *NetworkRenamingBlueprint {
+	return &NetworkRenamingBlueprint{
+		o:  compileOptions(opts),
+		bp: core.CompileRenamingNetwork(sortnet.SharedOEMNet(m)),
+	}
+}
+
+// Instantiate stamps the blueprint's shared state onto mem.
+func (b *NetworkRenamingBlueprint) Instantiate(mem Mem) *RenamingNetwork {
+	return b.bp.Instantiate(mem, b.o.maker(mem))
 }
 
 // NewNetworkRenaming builds the Section 5 construction over Batcher's
 // odd-even mergesort network of width m: initial names must lie in [1, m];
 // the k participants rename into 1..k in depth O(log² m) comparators.
 func NewNetworkRenaming(mem Mem, m int, opts ...Option) *RenamingNetwork {
-	o := buildOptions(opts, mem)
-	return core.NewRenamingNetwork(mem, sortnet.OddEvenMergeNet(m), o.maker)
+	return CompileNetworkRenaming(m, opts...).Instantiate(mem)
 }
 
 // NewLinearProbeRenaming builds the linear-time baseline renamer.
 func NewLinearProbeRenaming(mem Mem, opts ...Option) *LinearProbe {
-	o := buildOptions(opts, mem)
-	return core.NewLinearProbe(mem, o.maker)
+	return core.NewLinearProbe(mem, compileOptions(opts).maker(mem))
+}
+
+// CounterBlueprint is the compiled shape of the Section 8.1 counter (its
+// renamer's blueprint; the max register has no precomputable shape).
+type CounterBlueprint struct {
+	o  options
+	bp *core.StrongAdaptiveBlueprint
+}
+
+// CompileCounter returns the process-wide cached blueprint for the
+// monotone-consistent counter.
+func CompileCounter(opts ...Option) *CounterBlueprint {
+	o := compileOptions(opts)
+	return &CounterBlueprint{o: o, bp: core.CompileStrongAdaptive(o.base)}
+}
+
+// Instantiate stamps the blueprint's shared state onto mem.
+func (b *CounterBlueprint) Instantiate(mem Mem) *Counter {
+	return core.NewMonotoneCounterWith(b.bp.Instantiate(mem, b.o.maker(mem)), maxreg.NewUnbounded(mem))
 }
 
 // NewCounter builds the monotone-consistent counter of Section 8.1:
@@ -241,8 +348,7 @@ func NewLinearProbeRenaming(mem Mem, opts ...Option) *LinearProbe {
 // mutually ordered. Not linearizable — see the package tests for the
 // paper's counterexample.
 func NewCounter(mem Mem, opts ...Option) *Counter {
-	o := buildOptions(opts, mem)
-	return core.NewMonotoneCounter(mem, o.maker)
+	return CompileCounter(opts...).Instantiate(mem)
 }
 
 // NewLinearizableCounter builds the Aspnes–Attiya–Censor counter [17] for
@@ -261,16 +367,24 @@ func NewMaxRegister(mem Mem) MaxRegister {
 // NewLTAS builds the linearizable ℓ-test-and-set of Algorithm 1: exactly
 // min(ℓ, callers) invocations return true.
 func NewLTAS(mem Mem, ell uint64, opts ...Option) *LTAS {
-	o := buildOptions(opts, mem)
-	return core.NewLTestAndSet(mem, ell, o.maker)
+	return core.NewLTestAndSet(mem, ell, compileOptions(opts).maker(mem))
 }
 
 // NewFetchInc builds the linearizable m-valued fetch-and-increment of
 // Algorithm 2: the i-th increment returns i (from 0), saturating at m−1,
 // in O(log k · log m) expected steps.
 func NewFetchInc(mem Mem, m uint64, opts ...Option) *FetchInc {
-	o := buildOptions(opts, mem)
-	return core.NewFetchInc(mem, m, o.maker)
+	return core.NewFetchInc(mem, m, compileOptions(opts).maker(mem))
+}
+
+// CountingNetworkBlueprint is the compiled wiring of Bitonic[w] (cached
+// process-wide per width).
+type CountingNetworkBlueprint = countnet.Blueprint
+
+// CompileCountingNetwork returns the process-wide cached blueprint of the
+// bitonic counting network Bitonic[w] (w a power of two).
+func CompileCountingNetwork(w int) *CountingNetworkBlueprint {
+	return countnet.CompileBitonic(w)
 }
 
 // NewCountingNetwork builds the bitonic counting network Bitonic[w] of
@@ -288,8 +402,10 @@ func NewCountingNetwork(mem Mem, w int) *CountingNetwork {
 // answer to the paper's Section 9 "long-lived renaming" direction — a
 // lock-free free-list over the one-shot optimal renamer, not a solution to
 // the open theoretical problem.
+//
+// LongLived supports Reset: the free list, the renamer, and every name —
+// including names held by processes that crashed mid-execution — are
+// reclaimed wholesale, so crashed holders cannot leak names across reuses.
 func NewLongLived(mem Mem, opts ...Option) *LongLived {
-	o := buildOptions(opts, mem)
-	return core.NewLongLived(mem,
-		core.NewStrongAdaptiveWithBase(mem, splitter.NewTree(mem), o.maker, o.base))
+	return core.NewLongLived(mem, CompileRenaming(opts...).Instantiate(mem))
 }

@@ -1,0 +1,164 @@
+// Reuse equivalence: the compile-once / instantiate-once / reset-many path
+// must produce bit-identical Stats per (seed, adversary) versus fresh
+// construction — the acceptance contract of the two-phase object model.
+// Each case instantiates one object graph, dirties it with a warmup
+// execution under an unrelated seed and schedule (including crashes), then
+// replays a matrix of (seed, adversary) executions through Reset and
+// compares every Stats field against a freshly built object on a fresh
+// runtime.
+package renaming_test
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	renaming "repro"
+)
+
+// advPoint names one adversary construction so both paths build identical,
+// fresh schedule state.
+type advPoint struct {
+	name string
+	make func(seed uint64) renaming.Adversary
+}
+
+func advMatrix() []advPoint {
+	return []advPoint{
+		{"random", func(seed uint64) renaming.Adversary { return renaming.RandomSchedule(seed) }},
+		{"anticoin", func(seed uint64) renaming.Adversary { return renaming.AntiCoin(seed ^ 0xA5A5) }},
+		{"crash", func(seed uint64) renaming.Adversary {
+			return renaming.CrashAt(renaming.RandomSchedule(seed), map[int]uint64{1: 10, 3: 25})
+		}},
+	}
+}
+
+// equivCase is one object under test: build instantiates it on a runtime,
+// body runs one execution's workload, and reset restores it in place.
+type equivCase struct {
+	name  string
+	k     int
+	build func(mem renaming.Mem) (body func(p renaming.Proc), reset func())
+}
+
+func equivCases() []equivCase {
+	return []equivCase{
+		{"strong-adaptive", 6, func(mem renaming.Mem) (func(p renaming.Proc), func()) {
+			sa := renaming.CompileRenaming().Instantiate(mem)
+			return func(p renaming.Proc) { sa.Rename(p, uint64(p.ID())+1) }, sa.Reset
+		}},
+		{"strong-adaptive-hardware", 6, func(mem renaming.Mem) (func(p renaming.Proc), func()) {
+			sa := renaming.CompileRenaming(renaming.WithHardwareTAS()).Instantiate(mem)
+			return func(p renaming.Proc) { sa.Rename(p, uint64(p.ID())+1) }, sa.Reset
+		}},
+		{"strong-adaptive-balanced", 6, func(mem renaming.Mem) (func(p renaming.Proc), func()) {
+			sa := renaming.CompileRenaming(renaming.WithBalancedBase()).Instantiate(mem)
+			return func(p renaming.Proc) { sa.Rename(p, uint64(p.ID())+1) }, sa.Reset
+		}},
+		{"bitbatching", 8, func(mem renaming.Mem) (func(p renaming.Proc), func()) {
+			bb := renaming.CompileBitBatching(8).Instantiate(mem)
+			return func(p renaming.Proc) { bb.Rename(p, uint64(p.ID())+1) }, bb.Reset
+		}},
+		{"network", 8, func(mem renaming.Mem) (func(p renaming.Proc), func()) {
+			rn := renaming.CompileNetworkRenaming(16).Instantiate(mem)
+			return func(p renaming.Proc) { rn.Rename(p, uint64(p.ID()*2)+1) }, rn.Reset
+		}},
+		{"counter", 4, func(mem renaming.Mem) (func(p renaming.Proc), func()) {
+			c := renaming.CompileCounter().Instantiate(mem)
+			return func(p renaming.Proc) {
+				for i := 0; i < 3; i++ {
+					c.Inc(p)
+					c.Read(p)
+				}
+			}, c.Reset
+		}},
+		{"fetchinc", 5, func(mem renaming.Mem) (func(p renaming.Proc), func()) {
+			f := renaming.NewFetchInc(mem, 16)
+			return func(p renaming.Proc) { f.Inc(p) }, f.Reset
+		}},
+		{"ltas", 6, func(mem renaming.Mem) (func(p renaming.Proc), func()) {
+			o := renaming.NewLTAS(mem, 3)
+			return func(p renaming.Proc) { o.Try(p) }, o.Reset
+		}},
+		{"counting-network", 5, func(mem renaming.Mem) (func(p renaming.Proc), func()) {
+			n := renaming.CompileCountingNetwork(8).Instantiate(mem)
+			return func(p renaming.Proc) {
+				for i := 0; i < 2; i++ {
+					n.Next(p)
+				}
+			}, n.Reset
+		}},
+		{"long-lived", 5, func(mem renaming.Mem) (func(p renaming.Proc), func()) {
+			l := renaming.NewLongLived(mem)
+			return func(p renaming.Proc) {
+				a := l.Acquire(p)
+				b := l.Acquire(p)
+				l.Release(p, a)
+				l.Acquire(p)
+				l.Release(p, b)
+			}, l.Reset
+		}},
+	}
+}
+
+// TestResetPathBitIdenticalToFresh is the acceptance test: for every
+// object and every (seed, adversary) point, the reused instance produces
+// exactly the Stats a fresh construction produces.
+func TestResetPathBitIdenticalToFresh(t *testing.T) {
+	for _, tc := range equivCases() {
+		t.Run(tc.name, func(t *testing.T) {
+			// One long-lived runtime + instance, dirtied by a warmup run.
+			rt := renaming.NewSim(999, renaming.RandomSchedule(999))
+			body, reset := tc.build(rt)
+			rt.Run(tc.k, body)
+
+			for _, ap := range advMatrix() {
+				for seed := uint64(0); seed < 4; seed++ {
+					t.Run(fmt.Sprintf("%s/seed=%d", ap.name, seed), func(t *testing.T) {
+						fresh := renaming.NewSim(seed, ap.make(seed))
+						fBody, _ := tc.build(fresh)
+						want := fresh.Run(tc.k, fBody)
+
+						reset()
+						rt.Reset(seed, ap.make(seed))
+						got := rt.Run(tc.k, body)
+
+						if !reflect.DeepEqual(want, got) {
+							t.Errorf("reset path diverged from fresh construction\nfresh: %+v\nreset: %+v", want, got)
+						}
+					})
+				}
+			}
+		})
+	}
+}
+
+// TestResetPathNamesMatchFresh checks the visible outputs (the names), not
+// just the accounting: same seed, same adversary, same names.
+func TestResetPathNamesMatchFresh(t *testing.T) {
+	const k = 8
+	collect := func(rt *renaming.SimRuntime, sa *renaming.StrongAdaptive) []uint64 {
+		names := make([]uint64, k)
+		rt.Run(k, func(p renaming.Proc) {
+			names[p.ID()] = sa.Rename(p, uint64(p.ID())+1)
+		})
+		return names
+	}
+
+	rt := renaming.NewSim(42, renaming.RandomSchedule(42))
+	sa := renaming.CompileRenaming().Instantiate(rt)
+	collect(rt, sa) // warmup execution to dirty the graph
+
+	for seed := uint64(0); seed < 6; seed++ {
+		fresh := renaming.NewSim(seed, renaming.RandomSchedule(seed))
+		want := collect(fresh, renaming.CompileRenaming().Instantiate(fresh))
+
+		sa.Reset()
+		rt.Reset(seed, renaming.RandomSchedule(seed))
+		got := collect(rt, sa)
+
+		if !reflect.DeepEqual(want, got) {
+			t.Errorf("seed %d: names diverged: fresh %v, reset %v", seed, want, got)
+		}
+	}
+}

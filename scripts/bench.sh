@@ -2,7 +2,14 @@
 # bench.sh — run the wall-clock benchmark suite and write BENCH_<n>.json,
 # the machine-readable perf-trajectory record (one file per measurement,
 # numbered consecutively; BENCH_1.json is the record of the scheduler
-# fast-path PR, including its seed baseline).
+# fast-path PR, including its seed baseline; BENCH_2.json is the record of
+# the two-phase object model PR — the construction-vs-execution split).
+#
+# The default pattern covers both halves of the split: the execution
+# benchmarks (reset-many steady state), the FreshBuild benchmarks (the
+# pre-two-phase construct-per-execution behavior), and the Instantiate
+# benchmarks (blueprint → shared state stamping). The amortization win of
+# compile-once/reset-many is FreshBuildX / X for each matching pair.
 #
 # Usage:
 #   scripts/bench.sh                 # next free BENCH_<n>.json, 2s per bench
@@ -15,7 +22,7 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 benchtime="${BENCHTIME:-2s}"
-pattern="${BENCH:-BenchmarkStrongAdaptive\$|BenchmarkStrongAdaptiveHardware|BenchmarkNativeRenaming|BenchmarkNativeCounter}"
+pattern="${BENCH:-BenchmarkStrongAdaptive\$|BenchmarkStrongAdaptiveHardware|BenchmarkNativeRenaming\$|BenchmarkNativeCounter|BenchmarkFreshBuild|BenchmarkInstantiate|BenchmarkCompileCold|BenchmarkBitBatching\$}"
 
 n=1
 while [ -e "BENCH_${n}.json" ]; do n=$((n + 1)); done
