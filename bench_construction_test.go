@@ -27,6 +27,7 @@ import (
 func BenchmarkInstantiateStrongAdaptive(b *testing.B) {
 	bp := renaming.CompileRenaming()
 	rt := renaming.NewSim(0, renaming.RandomSchedule(0))
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		bp.Instantiate(rt)
@@ -40,6 +41,7 @@ func BenchmarkInstantiateBitBatching(b *testing.B) {
 		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
 			bp := renaming.CompileBitBatching(n)
 			rt := renaming.NewSim(0, renaming.RandomSchedule(0))
+			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				bp.Instantiate(rt)
@@ -55,6 +57,7 @@ func BenchmarkInstantiateCountingNetwork(b *testing.B) {
 		b.Run(fmt.Sprintf("w=%d", w), func(b *testing.B) {
 			bp := renaming.CompileCountingNetwork(w)
 			rt := renaming.NewSim(0, renaming.RandomSchedule(0))
+			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				bp.Instantiate(rt)
@@ -69,6 +72,7 @@ func BenchmarkInstantiateCountingNetwork(b *testing.B) {
 func BenchmarkCompileCold(b *testing.B) {
 	for _, m := range []int{64, 256} {
 		b.Run(fmt.Sprintf("M=%d", m), func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				// Bypass the caches deliberately: fresh materialization.
 				sortnet.OddEvenMergeNet(m)
@@ -84,6 +88,7 @@ func BenchmarkCompileCold(b *testing.B) {
 func BenchmarkFreshBuildStrongAdaptive(b *testing.B) {
 	for _, k := range []int{2, 8, 32, 128} {
 		b.Run(fmt.Sprintf("k=%d", k), func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				rt := renaming.NewSim(uint64(i), renaming.RandomSchedule(uint64(i)))
 				sa := renaming.NewRenaming(rt)
@@ -98,6 +103,7 @@ func BenchmarkFreshBuildStrongAdaptive(b *testing.B) {
 func BenchmarkFreshBuildBitBatching(b *testing.B) {
 	for _, n := range []int{16, 64, 256} {
 		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				rt := renaming.NewSim(uint64(i), renaming.RandomSchedule(uint64(i)))
 				bb := renaming.NewBitBatchingRenaming(rt, n)
@@ -115,6 +121,7 @@ func BenchmarkFreshBuildBitBatching(b *testing.B) {
 func BenchmarkFreshBuildNativeRenaming(b *testing.B) {
 	for _, k := range []int{8, 64} {
 		b.Run(fmt.Sprintf("k=%d", k), func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				rt := renaming.NewNative(1)
 				sa := renaming.NewRenaming(rt, renaming.WithHardwareTAS())

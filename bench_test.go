@@ -31,6 +31,7 @@ func simRun(b *testing.B, k int, build func(mem renaming.Mem) (body func(renamin
 	rt := renaming.NewSim(0, renaming.RandomSchedule(0))
 	body, reset := build(rt)
 	var maxSteps, totalSteps, comps, tasEnters uint64
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if i > 0 {
@@ -164,43 +165,48 @@ func BenchmarkLTAS(b *testing.B) {
 
 // BenchmarkNativeRenaming runs strong adaptive renaming on real goroutines
 // (wall-clock throughput of the library as a Go component, hardware TAS),
-// instantiate-once / reset-many: the serving-loop steady state.
+// instantiate-once / reset-many on a reusable RunGroup: the serving-loop
+// steady state — zero allocations per execution beyond the k goroutines.
 func BenchmarkNativeRenaming(b *testing.B) {
 	for _, k := range []int{8, 64} {
 		b.Run(fmt.Sprintf("k=%d", k), func(b *testing.B) {
-			rt := renaming.NewNative(1)
+			rt := renaming.NewNative(1).(*renaming.Native)
 			sa := renaming.CompileRenaming(renaming.WithHardwareTAS()).Instantiate(rt)
+			g := rt.NewRunGroup(k)
+			body := func(p renaming.Proc) { sa.Rename(p, uint64(p.ID())+1) }
+			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				if i > 0 {
 					sa.Reset()
 				}
-				rt.Run(k, func(p renaming.Proc) {
-					sa.Rename(p, uint64(p.ID())+1)
-				})
+				g.Run(body)
 			}
 		})
 	}
 }
 
 // BenchmarkNativeCounter measures the monotone counter on real goroutines,
-// instantiate-once / reset-many.
+// instantiate-once / reset-many on a reusable RunGroup.
 func BenchmarkNativeCounter(b *testing.B) {
 	for _, k := range []int{8, 64} {
 		b.Run(fmt.Sprintf("k=%d", k), func(b *testing.B) {
-			rt := renaming.NewNative(1)
+			rt := renaming.NewNative(1).(*renaming.Native)
 			c := renaming.CompileCounter(renaming.WithHardwareTAS()).Instantiate(rt)
+			g := rt.NewRunGroup(k)
+			body := func(p renaming.Proc) {
+				for j := 0; j < 4; j++ {
+					c.Inc(p)
+					c.Read(p)
+				}
+			}
+			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				if i > 0 {
 					c.Reset()
 				}
-				rt.Run(k, func(p renaming.Proc) {
-					for j := 0; j < 4; j++ {
-						c.Inc(p)
-						c.Read(p)
-					}
-				})
+				g.Run(body)
 			}
 		})
 	}

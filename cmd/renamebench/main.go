@@ -6,6 +6,7 @@
 // Usage:
 //
 //	renamebench [-quick] [-seeds N] [-table E8] [-markdown]
+//	renamebench -parallel G        # wall-clock serving-throughput table
 package main
 
 import (
@@ -13,6 +14,7 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	"repro/internal/bench"
 )
@@ -25,6 +27,8 @@ func main() {
 	markdown := flag.Bool("markdown", false, "emit GitHub-flavored markdown")
 	csv := flag.Bool("csv", false, "emit CSV series for external plotting")
 	jsonOut := flag.Bool("json", false, "emit one machine-readable JSON document per run (see scripts/bench.sh)")
+	parallel := flag.Int("parallel", 0, "measure serving throughput instead of the E-tables: sweep 1..G goroutines against sharded pools (wall-clock, native runtime)")
+	window := flag.Duration("window", 100*time.Millisecond, "measurement window per throughput cell (with -parallel)")
 	flag.Parse()
 
 	if *jsonOut && (*markdown || *csv) {
@@ -33,7 +37,12 @@ func main() {
 	}
 
 	cfg := bench.Config{Seeds: *seeds, Quick: *quick, Fresh: *fresh}
-	tables := bench.All(cfg)
+	var tables []*bench.Table
+	if *parallel > 0 {
+		tables = []*bench.Table{bench.Throughput(*parallel, *window)}
+	} else {
+		tables = bench.All(cfg)
+	}
 
 	matched := false
 	var selected []*bench.Table

@@ -60,7 +60,41 @@
 // construction — same Stats, same names, same crash sets (the reuse
 // equivalence tests pin this down).
 //
-// See examples/ for runnable scenarios and BENCHMARKS.md for the benchmark
-// harness, the scheduler fast paths, the construction-cost table, and the
-// per-experiment index.
+// # Serving: sharded instance pools
+//
+// NewPool turns a compiled blueprint into a sharded serving engine: each
+// shard owns a lock-free freelist of pre-instantiated, resettable object
+// graphs (cache-line-padded shard headers, tagged single-CAS checkout, a
+// cheap per-goroutine hash for shard selection), and any number of
+// goroutines check instances out, operate, and return them. Returned
+// instances are recycled — restored to their just-instantiated state in
+// place — so every checkout observes a fresh graph with zero allocation;
+// when a shard runs dry the pool instantiates another instance from the
+// cached blueprint, so capacity follows peak demand. A pooled checkout is
+// bit-identical to fresh construction per (seed, adversary), the same
+// contract as Reset (reuse_equiv_test.go covers the pooled path too).
+//
+//	pool := renaming.NewRenamingPool()          // or NewPool[T](bp)
+//	// any number of goroutines:
+//	pool.Execute(k, func(p renaming.Proc, sa *renaming.StrongAdaptive) {
+//	    name := sa.Rename(p, uint64(p.ID())+1)  // fresh graph per request
+//	    ...
+//	})
+//	// or per-operation serving on the instance's dedicated proc:
+//	pool.Do(func(p renaming.Proc, sa *renaming.StrongAdaptive) {
+//	    sa.Rename(p, 1)
+//	})
+//
+// A caller that panics mid-operation cannot leak a dirty graph: Do and
+// Execute recycle through a deferred Put (the pool stress tests pin this,
+// reusing the LongLived crash-recycle machinery). On the native runtime the
+// hot path underneath is devirtualized: native registers are accessed
+// through direct atomic-word handles rather than interface dispatch, and
+// the per-operation serving path runs allocation-free (see BENCHMARKS.md
+// "Throughput").
+//
+// See examples/ for runnable scenarios (threadpool and ticketing serve
+// repeated waves from pools) and BENCHMARKS.md for the benchmark harness,
+// the scheduler fast paths, the construction-cost table, the throughput
+// suite, and the per-experiment index.
 package renaming

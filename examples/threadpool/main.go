@@ -6,6 +6,11 @@
 // Strong adaptive renaming hands worker i a slot in 1..k where k is the
 // number of workers that actually showed up — no preconfigured pool size,
 // no coordinator, and O(log k) shared-memory steps per worker.
+//
+// This version serves repeated waves of workers from renaming.NewPool, the
+// sharded serving engine: each wave checks a pre-instantiated renamer
+// graph out of the pool, runs its workers against it, and recycles it on
+// return, so wave N+1 reuses wave N's graph with zero construction.
 package main
 
 import (
@@ -16,40 +21,55 @@ import (
 )
 
 func main() {
-	const workers = 12
-	const jobs = 480
+	const (
+		waves   = 3
+		workers = 12
+		jobs    = 480
+	)
 
-	rt := renaming.NewNative(7)
-	ren := renaming.NewRenaming(rt, renaming.WithHardwareTAS())
+	pool := renaming.NewRenamingPool(renaming.WithPoolSeed(7))
 
-	// Dense per-slot state, indexable only because names are tight.
-	var perSlot [workers + 1]atomic.Uint64
-	var queue atomic.Int64
-	queue.Store(jobs)
+	for wave := 0; wave < waves; wave++ {
+		// Dense per-slot state, indexable only because names are tight.
+		var perSlot [workers + 1]atomic.Uint64
+		var queue atomic.Int64
+		queue.Store(jobs)
+		slots := make([]uint64, workers)
 
-	slots := make([]uint64, workers)
-	rt.Run(workers, func(p renaming.Proc) {
-		// A "thread id" from a sparse 64-bit space.
-		tid := uint64(p.ID())<<40 | 0xBEEF
-		slot := ren.Rename(p, tid)
-		slots[p.ID()] = slot
+		// One serving request: a full renaming execution on a checked-out
+		// graph. The pool recycles the instance afterward.
+		pool.Execute(workers, func(p renaming.Proc, ren *renaming.StrongAdaptive) {
+			// A "thread id" from a sparse 64-bit space.
+			tid := uint64(p.ID())<<40 | 0xBEEF
+			slot := ren.Rename(p, tid)
+			slots[p.ID()] = slot
 
-		// Work off the shared queue, accounting into the dense slot.
-		for queue.Add(-1) >= 0 {
-			perSlot[slot].Add(1)
+			// Work off the shared queue, accounting into the dense slot.
+			for queue.Add(-1) >= 0 {
+				perSlot[slot].Add(1)
+			}
+		})
+
+		fmt.Printf("wave %d: %d workers renamed into slots 1..%d\n", wave+1, workers, workers)
+		var total uint64
+		for i, s := range slots {
+			done := perSlot[s].Load()
+			total += done
+			if wave == 0 {
+				fmt.Printf("  worker tid=%#x → slot %2d  processed %3d jobs\n",
+					uint64(i)<<40|0xBEEF, s, done)
+			}
+			if s < 1 || s > workers {
+				panic("slot out of the tight namespace")
+			}
 		}
-	})
+		fmt.Printf("  jobs processed: %d / %d\n", total, jobs)
+		if total != jobs {
+			panic("jobs lost: dense slot accounting is broken")
+		}
+	}
 
-	fmt.Printf("%d workers renamed into slots 1..%d:\n", workers, workers)
-	var total uint64
-	for i, s := range slots {
-		done := perSlot[s].Load()
-		total += done
-		fmt.Printf("  worker tid=%#x → slot %2d  processed %3d jobs\n",
-			uint64(i)<<40|0xBEEF, s, done)
-	}
-	fmt.Printf("jobs processed: %d / %d\n", total, jobs)
-	if total != jobs {
-		panic("jobs lost: dense slot accounting is broken")
-	}
+	st := pool.Stats()
+	fmt.Printf("pool: %d instance(s) served %d waves (%d checkout hits, %d overflow builds)\n",
+		st.Instances, waves, st.Hits, st.Overflows)
 }

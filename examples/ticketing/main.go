@@ -5,6 +5,11 @@
 // saturates at m−1, the request is turned away. An ℓ-test-and-set
 // separately grants a small number of "VIP" slots to the earliest
 // requests, exactly ℓ of them, demonstrating Algorithm 1 on its own.
+//
+// Sales repeat, so the whole admission graph (dispenser + VIP gate) is
+// served from renaming.NewPoolFunc: each sale checks a pre-instantiated
+// graph out of the sharded pool and recycles it on return — the next sale
+// starts from a fresh saturation-free dispenser with zero construction.
 package main
 
 import (
@@ -14,54 +19,77 @@ import (
 	renaming "repro"
 )
 
+// sale is one flash sale's shared object graph: the pooled unit.
+type sale struct {
+	dispenser *renaming.FetchInc
+	vip       *renaming.LTAS
+}
+
+// Reset recycles the graph between sales (the pool calls it on return).
+func (s *sale) Reset() {
+	s.dispenser.Reset()
+	s.vip.Reset()
+}
+
 func main() {
 	const (
+		sales    = 2
 		requests = 100
 		tickets  = 64
 		vipSlots = 5
 	)
 
-	rt := renaming.NewNative(2026)
-	dispenser := renaming.NewFetchInc(rt, tickets, renaming.WithHardwareTAS())
-	vip := renaming.NewLTAS(rt, vipSlots, renaming.WithHardwareTAS())
+	pool := renaming.NewPoolFunc(func(mem renaming.Mem) *sale {
+		return &sale{
+			dispenser: renaming.NewFetchInc(mem, tickets, renaming.WithHardwareTAS()),
+			vip:       renaming.NewLTAS(mem, vipSlots, renaming.WithHardwareTAS()),
+		}
+	}, renaming.WithPoolSeed(2026))
 
-	var sold, rejected, vips atomic.Int64
-	issued := make([]atomic.Bool, tickets)
+	for round := 0; round < sales; round++ {
+		var sold, rejected, vips atomic.Int64
+		issued := make([]atomic.Bool, tickets)
 
-	rt.Run(requests, func(p renaming.Proc) {
-		t := dispenser.Inc(p)
-		switch {
-		case t < tickets-1:
-			if issued[t].Swap(true) {
-				panic(fmt.Sprintf("ticket %d sold twice", t))
-			}
-			sold.Add(1)
-		default:
-			// m−1 is the saturation value: the (m−1)-th real ticket and
-			// every overflow response share it; treat it as sold once.
-			if !issued[t].Swap(true) {
+		pool.Execute(requests, func(p renaming.Proc, s *sale) {
+			t := s.dispenser.Inc(p)
+			switch {
+			case t < tickets-1:
+				if issued[t].Swap(true) {
+					panic(fmt.Sprintf("ticket %d sold twice", t))
+				}
 				sold.Add(1)
-			} else {
-				rejected.Add(1)
+			default:
+				// m−1 is the saturation value: the (m−1)-th real ticket and
+				// every overflow response share it; treat it as sold once.
+				if !issued[t].Swap(true) {
+					sold.Add(1)
+				} else {
+					rejected.Add(1)
+				}
+			}
+			if s.vip.Try(p) {
+				vips.Add(1)
+			}
+		})
+
+		fmt.Printf("sale %d:\n", round+1)
+		fmt.Printf("  requests:        %d\n", requests)
+		fmt.Printf("  tickets sold:    %d (capacity %d)\n", sold.Load(), tickets)
+		fmt.Printf("  turned away:     %d\n", rejected.Load())
+		fmt.Printf("  VIP slots given: %d (exactly %d by Lemma 5)\n", vips.Load(), vipSlots)
+
+		for t := 0; t < tickets; t++ {
+			if !issued[t].Load() {
+				panic(fmt.Sprintf("ticket %d never issued: numbering has a gap", t))
 			}
 		}
-		if vip.Try(p) {
-			vips.Add(1)
-		}
-	})
-
-	fmt.Printf("requests:        %d\n", requests)
-	fmt.Printf("tickets sold:    %d (capacity %d)\n", sold.Load(), tickets)
-	fmt.Printf("turned away:     %d\n", rejected.Load())
-	fmt.Printf("VIP slots given: %d (exactly %d by Lemma 5)\n", vips.Load(), vipSlots)
-
-	for t := 0; t < tickets; t++ {
-		if !issued[t].Load() {
-			panic(fmt.Sprintf("ticket %d never issued: numbering has a gap", t))
+		fmt.Println("  ticket numbering dense 0..m−1, no duplicates ✓")
+		if vips.Load() != vipSlots {
+			panic("wrong number of VIP winners")
 		}
 	}
-	fmt.Println("ticket numbering dense 0..m−1, no duplicates ✓")
-	if vips.Load() != vipSlots {
-		panic("wrong number of VIP winners")
-	}
+
+	st := pool.Stats()
+	fmt.Printf("pool: %d instance(s) served %d sales (%d checkout hits, %d overflow builds)\n",
+		st.Instances, sales, st.Hits, st.Overflows)
 }

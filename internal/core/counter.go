@@ -2,6 +2,7 @@ package core
 
 import (
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/maxreg"
 	"repro/internal/shmem"
@@ -11,32 +12,70 @@ import (
 
 // UIDSource hands out globally unique nonzero invocation ids: the high word
 // is the process id, the low word a per-process sequence number. It is
-// bookkeeping shared with no one (each process touches only its own
-// counter), kept behind a mutex only for the native runtime's benefit.
+// bookkeeping shared with no one — each process touches only its own
+// counter — so the hot path is lock-free: a copy-on-write slice of
+// cache-line-padded per-process slots, published through an atomic pointer.
+// Only slot-table growth takes the mutex. (The previous map-behind-a-mutex
+// serialized every native Inc across all processes.)
 type UIDSource struct {
-	mu   sync.Mutex
-	next map[int]uint64
+	mu    sync.Mutex
+	slots atomic.Pointer[[]*uidSlot]
 }
 
-// Next returns a fresh uid for an invocation by p.
+// uidSlot is one process's sequence counter in its own cache line: adjacent
+// processes bump their sequences on every operation, and sharing lines
+// would put false sharing right back on the hot path.
+type uidSlot struct {
+	seq uint64
+	_   [56]byte
+}
+
+// Next returns a fresh uid for an invocation by p. Only p's own goroutine
+// touches p's slot, so the increment needs no atomics.
 func (u *UIDSource) Next(p shmem.Proc) uint64 {
+	id := p.ID()
+	arr := u.slots.Load()
+	if arr == nil || id >= len(*arr) {
+		arr = u.grow(id)
+	}
+	s := (*arr)[id]
+	s.seq++
+	return uint64(id)<<32 | s.seq
+}
+
+// grow extends the slot table to cover id (copy-on-write; slot identity is
+// stable across growth, so concurrent readers of the old slice still bump
+// the same counters).
+func (u *UIDSource) grow(id int) *[]*uidSlot {
 	u.mu.Lock()
 	defer u.mu.Unlock()
-	if u.next == nil {
-		u.next = make(map[int]uint64)
+	var cur []*uidSlot
+	if arr := u.slots.Load(); arr != nil {
+		cur = *arr
 	}
-	seq := u.next[p.ID()] + 1
-	u.next[p.ID()] = seq
-	return uint64(p.ID())<<32 | seq
+	if id < len(cur) {
+		return u.slots.Load()
+	}
+	next := make([]*uidSlot, id+1)
+	copy(next, cur)
+	for i := len(cur); i <= id; i++ {
+		next[i] = &uidSlot{}
+	}
+	u.slots.Store(&next)
+	return &next
 }
 
 // Reset rewinds every per-process sequence, so a reused object hands out
 // the same uid stream as a fresh one (part of the bit-identical reuse
 // contract). Between executions only.
 func (u *UIDSource) Reset() {
-	u.mu.Lock()
-	defer u.mu.Unlock()
-	clear(u.next)
+	arr := u.slots.Load()
+	if arr == nil {
+		return
+	}
+	for _, s := range *arr {
+		s.seq = 0
+	}
 }
 
 // MonotoneCounter is the Section 8.1 counter: increment acquires a fresh
@@ -101,17 +140,17 @@ func (c *MonotoneCounter) Read(p shmem.Proc) uint64 {
 // an adaptive adversary (each failed CAS is a wasted step), which is the
 // behaviour the paper's counter improves on asymptotically.
 type CASCounter struct {
-	v shmem.CASReg
+	v shmem.FastReg
 }
 
 // NewCASCounter allocates the baseline counter.
 func NewCASCounter(mem shmem.Mem) *CASCounter {
-	return &CASCounter{v: mem.NewCASReg(0)}
+	return &CASCounter{v: shmem.Fast(mem.NewCASReg(0))}
 }
 
 // Reset restores the counter to zero. Between executions only.
 func (c *CASCounter) Reset() {
-	shmem.Restore(c.v, 0)
+	c.v.Restore(0)
 }
 
 // Inc atomically increments and returns the new value.

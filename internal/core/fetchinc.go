@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/shmem"
 	"repro/internal/splitter"
@@ -19,7 +20,7 @@ import (
 // uid (Try manages them internally).
 type LTestAndSet struct {
 	ell     uint64
-	doorway shmem.Reg
+	doorway shmem.FastReg
 	ren     Renamer
 	uids    UIDSource
 }
@@ -29,7 +30,7 @@ type LTestAndSet struct {
 func NewLTestAndSet(mem shmem.Mem, ell uint64, mk tas.SidedMaker) *LTestAndSet {
 	o := &LTestAndSet{ell: ell}
 	if ell > 0 {
-		o.doorway = mem.NewReg(0)
+		o.doorway = shmem.Fast(mem.NewReg(0))
 		o.ren = NewStrongAdaptive(mem, splitter.NewTree(mem), mk)
 	}
 	return o
@@ -45,7 +46,7 @@ func (o *LTestAndSet) Reset() {
 	if o.ell == 0 {
 		return
 	}
-	shmem.Restore(o.doorway, 0)
+	o.doorway.Restore(0)
 	o.ren.(shmem.Resettable).Reset()
 	o.uids.Reset()
 }
@@ -89,7 +90,14 @@ type faiNode struct {
 	cap  uint64 // ℓ: this object counts 0..ℓ−1
 	test *LTestAndSet
 
-	mu          sync.Mutex
+	// Children are published through an atomic pointer so the recursive
+	// descent of every Inc takes no lock; the mutex only serializes the
+	// one-time allocation.
+	mu   sync.Mutex
+	kids atomic.Pointer[faiKids]
+}
+
+type faiKids struct {
 	left, right *faiNode
 }
 
@@ -118,13 +126,17 @@ func (f *FetchInc) newNode(cap uint64) *faiNode {
 
 // children returns the node's two (cap/2)-valued sub-objects.
 func (f *FetchInc) children(n *faiNode) (*faiNode, *faiNode) {
+	if k := n.kids.Load(); k != nil {
+		return k.left, k.right
+	}
 	n.mu.Lock()
 	defer n.mu.Unlock()
-	if n.left == nil {
-		n.left = f.newNode(n.cap / 2)
-		n.right = f.newNode(n.cap / 2)
+	if k := n.kids.Load(); k != nil {
+		return k.left, k.right
 	}
-	return n.left, n.right
+	k := &faiKids{left: f.newNode(n.cap / 2), right: f.newNode(n.cap / 2)}
+	n.kids.Store(k)
+	return k.left, k.right
 }
 
 // M returns the capacity m.
@@ -141,12 +153,9 @@ func (n *faiNode) reset() {
 		return
 	}
 	n.test.Reset()
-	n.mu.Lock()
-	left, right := n.left, n.right
-	n.mu.Unlock()
-	if left != nil {
-		left.reset()
-		right.reset()
+	if k := n.kids.Load(); k != nil {
+		k.left.reset()
+		k.right.reset()
 	}
 }
 

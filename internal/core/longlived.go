@@ -2,6 +2,7 @@ package core
 
 import (
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/shmem"
 )
@@ -36,18 +37,20 @@ type LongLived struct {
 	// the tag is a version counter bumped on every successful CAS, which
 	// defeats the classic Treiber ABA race (a pop concurrent with a
 	// pop/re-push cycle must not install a stale next pointer).
-	head shmem.CASReg
-	// cells[i] is the next-pointer of the list node for name i+1 (names
-	// are small and dense, so nodes are allocated lazily by index; the
-	// mutex guards only this bookkeeping, outside the step-counted model).
+	head shmem.FastReg
+	// cells[i] is the next-pointer of the list node for name i+1. Names are
+	// small and dense, so nodes are allocated lazily by index and published
+	// copy-on-write through an atomic pointer: Acquire/Release look cells
+	// up lock-free, and only table growth takes the mutex (allocation is
+	// bookkeeping outside the step-counted model).
 	mu    sync.Mutex
-	cells []shmem.CASReg
+	cells atomic.Pointer[[]shmem.FastReg]
 	mem   shmem.Mem
 }
 
 // NewLongLived wraps a renamer into a long-lived name allocator.
 func NewLongLived(mem shmem.Mem, ren Renamer) *LongLived {
-	return &LongLived{ren: ren, mem: mem, head: mem.NewCASReg(0)}
+	return &LongLived{ren: ren, mem: mem, head: shmem.Fast(mem.NewCASReg(0))}
 }
 
 // Reset restores the allocator to its empty state: the free list, every
@@ -58,25 +61,43 @@ func NewLongLived(mem shmem.Mem, ren Renamer) *LongLived {
 // leak names across reuses (the recycle test pins this). Between
 // executions only.
 func (l *LongLived) Reset() {
-	shmem.Restore(l.head, 0)
-	l.mu.Lock()
-	cells := l.cells
-	l.mu.Unlock()
-	for _, c := range cells {
-		shmem.Restore(c, 0)
+	l.head.Restore(0)
+	if cells := l.cells.Load(); cells != nil {
+		for _, c := range *cells {
+			c.Restore(0)
+		}
 	}
 	l.ren.(shmem.Resettable).Reset()
 	l.uids.Reset()
 }
 
 // cell returns the next-pointer register for the given name.
-func (l *LongLived) cell(name uint64) shmem.CASReg {
+func (l *LongLived) cell(name uint64) shmem.FastReg {
+	if cells := l.cells.Load(); cells != nil && name <= uint64(len(*cells)) {
+		return (*cells)[name-1]
+	}
+	return l.growCells(name)
+}
+
+// growCells extends the cell table to cover name (copy-on-write; register
+// identity is stable across growth).
+func (l *LongLived) growCells(name uint64) shmem.FastReg {
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	for uint64(len(l.cells)) < name {
-		l.cells = append(l.cells, l.mem.NewCASReg(0))
+	var cur []shmem.FastReg
+	if cells := l.cells.Load(); cells != nil {
+		cur = *cells
 	}
-	return l.cells[name-1]
+	if name <= uint64(len(cur)) {
+		return cur[name-1]
+	}
+	next := make([]shmem.FastReg, name)
+	copy(next, cur)
+	for i := uint64(len(cur)); i < name; i++ {
+		next[i] = shmem.Fast(l.mem.NewCASReg(0))
+	}
+	l.cells.Store(&next)
+	return next[name-1]
 }
 
 const llNameMask = 1<<32 - 1

@@ -77,7 +77,7 @@ func (rn *RenamingNetwork) Rename(p shmem.Proc, uid uint64) uint64 {
 		if wire == c.B {
 			side = 1
 		}
-		p.Note(shmem.EvComparator)
+		shmem.NoteFast(p, shmem.EvComparator)
 		if rn.comp(s, ci).TestAndSetSide(p, side) {
 			wire = c.A // winner moves up
 		} else {
@@ -181,7 +181,7 @@ func (sa *StrongAdaptive) Rename(p shmem.Proc, uid uint64) uint64 {
 		if wire == down {
 			side = 1
 		}
-		p.Note(shmem.EvComparator)
+		shmem.NoteFast(p, shmem.EvComparator)
 		won := sa.comp(c).TestAndSetSide(p, side)
 		if won {
 			wire = up

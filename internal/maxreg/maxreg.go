@@ -12,6 +12,7 @@ package maxreg
 
 import (
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/shmem"
 )
@@ -35,9 +36,17 @@ type MaxReg interface {
 type Bounded struct {
 	mem  shmem.Mem
 	m    uint64
-	high shmem.Reg
+	high shmem.FastReg
 
-	mu          sync.Mutex
+	// Children are allocated lazily (bookkeeping outside the step-counted
+	// model). The pair is published through an atomic pointer so the hot
+	// read/write paths take no lock; the mutex only serializes the one-time
+	// allocation.
+	mu   sync.Mutex
+	kids atomic.Pointer[boundedKids]
+}
+
+type boundedKids struct {
 	left, right *Bounded
 }
 
@@ -50,7 +59,7 @@ func NewBounded(mem shmem.Mem, m uint64) *Bounded {
 	}
 	b := &Bounded{mem: mem, m: m}
 	if m > 1 {
-		b.high = mem.NewReg(0)
+		b.high = shmem.Fast(mem.NewReg(0))
 	}
 	return b
 }
@@ -65,24 +74,28 @@ func (b *Bounded) Reset() {
 	if b.m == 1 {
 		return
 	}
-	shmem.Restore(b.high, 0)
-	b.mu.Lock()
-	left, right := b.left, b.right
-	b.mu.Unlock()
-	if left != nil {
-		left.Reset()
-		right.Reset()
+	b.high.Restore(0)
+	if k := b.kids.Load(); k != nil {
+		k.left.Reset()
+		k.right.Reset()
 	}
 }
 
 func (b *Bounded) children() (*Bounded, *Bounded) {
+	if k := b.kids.Load(); k != nil {
+		return k.left, k.right
+	}
 	b.mu.Lock()
 	defer b.mu.Unlock()
-	if b.left == nil {
-		b.left = NewBounded(b.mem, b.half())
-		b.right = NewBounded(b.mem, b.m-b.half())
+	if k := b.kids.Load(); k != nil {
+		return k.left, k.right
 	}
-	return b.left, b.right
+	k := &boundedKids{
+		left:  NewBounded(b.mem, b.half()),
+		right: NewBounded(b.mem, b.m-b.half()),
+	}
+	b.kids.Store(k)
+	return k.left, k.right
 }
 
 // WriteMax raises the register to at least v. Cost: O(log m) steps.
@@ -127,12 +140,15 @@ func (b *Bounded) ReadMax(p shmem.Proc) uint64 {
 type Unbounded struct {
 	mem shmem.Mem
 
+	// The spine only grows; it is published copy-on-write through an atomic
+	// pointer so the per-operation node lookups (every ReadMax starts at
+	// spine node 0) take no lock.
 	mu    sync.Mutex
-	spine []*spineNode
+	spine atomic.Pointer[[]*spineNode]
 }
 
 type spineNode struct {
-	deeper shmem.Reg
+	deeper shmem.FastReg
 	tree   *Bounded
 }
 
@@ -145,26 +161,44 @@ func NewUnbounded(mem shmem.Mem) *Unbounded {
 
 // node returns spine node j, allocating the prefix lazily.
 func (u *Unbounded) node(j int) *spineNode {
+	if arr := u.spine.Load(); arr != nil && j < len(*arr) {
+		return (*arr)[j]
+	}
+	return u.grow(j)
+}
+
+func (u *Unbounded) grow(j int) *spineNode {
 	u.mu.Lock()
 	defer u.mu.Unlock()
-	for len(u.spine) <= j {
-		w := uint64(1) << uint(len(u.spine))
-		u.spine = append(u.spine, &spineNode{
-			deeper: u.mem.NewReg(0),
+	var cur []*spineNode
+	if arr := u.spine.Load(); arr != nil {
+		cur = *arr
+	}
+	if j < len(cur) {
+		return cur[j]
+	}
+	next := make([]*spineNode, len(cur), j+1)
+	copy(next, cur)
+	for len(next) <= j {
+		w := uint64(1) << uint(len(next))
+		next = append(next, &spineNode{
+			deeper: shmem.Fast(u.mem.NewReg(0)),
 			tree:   NewBounded(u.mem, w),
 		})
 	}
-	return u.spine[j]
+	u.spine.Store(&next)
+	return next[j]
 }
 
 // Reset restores the register to its initial (empty) state, keeping the
 // allocated spine. Between executions only.
 func (u *Unbounded) Reset() {
-	u.mu.Lock()
-	spine := u.spine
-	u.mu.Unlock()
-	for _, n := range spine {
-		shmem.Restore(n.deeper, 0)
+	arr := u.spine.Load()
+	if arr == nil {
+		return
+	}
+	for _, n := range *arr {
+		n.deeper.Restore(0)
 		n.tree.Reset()
 	}
 }

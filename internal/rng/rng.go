@@ -43,8 +43,16 @@ func New(seed uint64) *SplitMix64 {
 // are shifted copies of one another. It gives each simulated process an
 // independent coin-flip stream.
 func Derive(seed, stream uint64) *SplitMix64 {
+	g := Derived(seed, stream)
+	return &g
+}
+
+// Derived is Derive by value: reseeding a preallocated process context
+// costs no heap allocation (native serving loops re-derive streams per
+// execution).
+func Derived(seed, stream uint64) SplitMix64 {
 	h := mix64(seed + mix64(stream*goldenGamma+0x8c2f9d70e5a1b3f7))
-	return &SplitMix64{
+	return SplitMix64{
 		state: mix64(h),
 		gamma: mix64(h+goldenGamma) | 1, // gammas must be odd for full period
 	}

@@ -1,0 +1,387 @@
+// Package serve is the sharded serving engine: it owns per-shard pools of
+// pre-instantiated, resettable object graphs (renaming networks, strong
+// adaptive renamers, counters — anything the two-phase object model can
+// instantiate and Reset) and serves operations against them from
+// arbitrarily many goroutines.
+//
+// The design splits the request path from construction completely:
+//
+//   - Checkout is lock-free. Each shard keeps its idle instances on a
+//     Treiber-style freelist whose head packs a version tag with an index
+//     into the shard's instance table, so pops and pushes are single CAS
+//     operations with no ABA window. Shard headers are cache-line padded:
+//     two shards' heads never share a line, so uncontended checkouts on
+//     different shards never false-share.
+//   - Shard selection hashes a cheap per-goroutine value (the address of a
+//     stack slot — distinct per goroutine, free to obtain), so concurrent
+//     callers spread across shards without any shared state. Callers with
+//     a natural identity can pass it explicitly (GetKeyed).
+//   - Overflow falls back to construction: when a shard runs dry the pool
+//     instantiates a fresh instance from the cached blueprint (the
+//     compile-once half of the two-phase model makes this cheap) and the
+//     new instance joins the shard's freelist on Put, so the pool grows to
+//     match peak demand.
+//   - Recycling reuses the PR 2 reset machinery: Put restores the object
+//     graph to its just-instantiated state in place, so every checkout
+//     observes a fresh object with zero allocation. A caller that panics
+//     mid-operation (Do/Execute recycle through a deferred Put) cannot
+//     leak state into the next checkout — the same wholesale-reclaim
+//     argument as the LongLived crash-recycle contract.
+//
+// Each instance is bound to its own runtime (its own register arenas and
+// coin streams), so operations on different instances share no memory at
+// all — the engine scales by sharding, not by synchronizing.
+package serve
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"unsafe"
+
+	"repro/internal/shmem"
+)
+
+// Options configures a Pool.
+type Options struct {
+	// Shards is the number of independent freelists (rounded up to a power
+	// of two). 0 means 2×GOMAXPROCS: enough spread that, with uniform
+	// shard selection, concurrent callers rarely collide on one head.
+	Shards int
+	// PerShard is the number of instances pre-instantiated per shard.
+	// 0 means 2.
+	PerShard int
+	// Seed derives each instance's runtime seed (instance i uses Seed+i),
+	// so distinct instances draw distinct coin streams.
+	Seed uint64
+	// KeepState disables the reset-on-Put recycle: checkouts then observe
+	// whatever state earlier holders left behind (for explicitly
+	// accumulating services). The default recycles, so every checkout gets
+	// a fresh graph.
+	KeepState bool
+}
+
+func (o Options) withDefaults() Options {
+	if o.Shards <= 0 {
+		o.Shards = 2 * runtime.GOMAXPROCS(0)
+	}
+	o.Shards = ceilPow2(o.Shards)
+	if o.PerShard <= 0 {
+		o.PerShard = 2
+	}
+	return o
+}
+
+func ceilPow2(n int) int {
+	p := 1
+	for p < n {
+		p <<= 1
+	}
+	return p
+}
+
+// Freelist head layout: [tag | idx+1]. The tag increments on every
+// successful push or pop, which closes the classic Treiber ABA window (a
+// stale CAS can never succeed: any intervening operation changed the tag).
+// 21 index bits bound a shard at ~2M instances; 43 tag bits outlast any
+// realistic run (one increment per checkout or return).
+const (
+	idxBits = 21
+	idxMask = 1<<idxBits - 1
+)
+
+// Instance is one pooled object graph, exclusively held between Get and
+// Put. Obj is the instantiated object; Runtime is the runtime it is bound
+// to; Proc is a dedicated standalone process context for per-operation
+// serving (native runtimes only).
+type Instance[T shmem.Resettable] struct {
+	// Obj is the instantiated object graph.
+	Obj T
+
+	rt    shmem.Runtime
+	proc  *shmem.NativeProc // dedicated serving proc, native only
+	group *shmem.RunGroup   // reusable Execute context, native only
+	pool  *Pool[T]
+	home  *shard[T]
+
+	idx    uint32        // position in the home shard's instance table
+	next   atomic.Uint32 // freelist link: idx+1 of the next idle instance
+	leased atomic.Bool   // double-Put / double-checkout guard
+}
+
+// Runtime returns the runtime the instance's object graph is bound to.
+func (in *Instance[T]) Runtime() shmem.Runtime { return in.rt }
+
+// Proc returns the instance's dedicated serving proc. Only the holder may
+// use it, and only until Put. Panics when the instance's runtime has no
+// standalone proc support (only the native runtime does).
+func (in *Instance[T]) Proc() shmem.Proc {
+	if in.proc == nil {
+		panic("serve: per-operation serving needs a native runtime (Instance.Proc is nil)")
+	}
+	return in.proc
+}
+
+// Put returns the instance to its home shard, restoring the object graph
+// to its just-instantiated state first (unless the pool keeps state).
+// Putting an instance that is not checked out panics — the double-Put
+// guard. The guard is best-effort, like any use-after-free check: it
+// catches a second Put while the instance is idle, but a stale Put that
+// races a later checkout of the same instance is indistinguishable from
+// that holder's legitimate Put and corrupts the pool, exactly as a
+// double free corrupts an allocator.
+func (in *Instance[T]) Put() {
+	// Guard first: a double Put must fail before touching the graph, which
+	// may already be another caller's.
+	if !in.leased.CompareAndSwap(true, false) {
+		panic("serve: Put of an instance that is not checked out (double Put?)")
+	}
+	// Between the guard and the push the instance is unreachable (not on
+	// the freelist), so the reset still runs with exclusive access. The
+	// dedicated proc recycles with the graph: its coin stream re-derives,
+	// so the next checkout's operations are bit-identical to a fresh
+	// instance's (also for randomized blueprints).
+	if !in.pool.keepState {
+		in.Obj.Reset()
+		if in.proc != nil {
+			in.proc.Reset()
+		}
+	}
+	in.home.push(in)
+}
+
+// Execute runs one k-process execution against the instance's object graph
+// and returns its accounting. On the native runtime the proc contexts are
+// pooled per instance, so repeated Executes allocate nothing beyond the k
+// goroutines. The Stats are valid until the next Execute on this instance.
+func (in *Instance[T]) Execute(k int, body func(p shmem.Proc, obj T)) *shmem.Stats {
+	if n, ok := in.rt.(*shmem.Native); ok {
+		if in.group == nil || in.group.K() != k {
+			in.group = n.NewRunGroup(k)
+		}
+		return in.group.Run(func(p shmem.Proc) { body(p, in.Obj) })
+	}
+	return in.rt.Run(k, func(p shmem.Proc) { body(p, in.Obj) })
+}
+
+// shard is one independent freelist. The hot fields (head, hit/overflow
+// counters) live in the first cache line; the padding keeps the next
+// shard's header two lines away so adjacent-line prefetching cannot
+// false-share either.
+type shard[T shmem.Resettable] struct {
+	head      atomic.Uint64 // [tag | idx+1]; 0 = empty
+	hits      atomic.Uint64 // checkouts served from the freelist
+	overflows atomic.Uint64 // checkouts that had to instantiate
+
+	mu    sync.Mutex                     // guards instance-table growth only
+	insts atomic.Pointer[[]*Instance[T]] // copy-on-write; indices are stable
+
+	// Pad the struct to 128 bytes (two cache lines): the hot fields above
+	// total 40, so consecutive shards' heads land ≥128 bytes apart and
+	// adjacent-line prefetching cannot re-couple them.
+	_ [88]byte
+}
+
+// pop takes an idle instance off the freelist, or returns nil.
+func (s *shard[T]) pop() *Instance[T] {
+	for {
+		h := s.head.Load()
+		if h&idxMask == 0 {
+			return nil
+		}
+		in := (*s.insts.Load())[h&idxMask-1]
+		next := uint64(in.next.Load())
+		if s.head.CompareAndSwap(h, (h>>idxBits+1)<<idxBits|next) {
+			return in
+		}
+	}
+}
+
+// push returns an instance to the freelist.
+func (s *shard[T]) push(in *Instance[T]) {
+	for {
+		h := s.head.Load()
+		in.next.Store(uint32(h & idxMask))
+		if s.head.CompareAndSwap(h, (h>>idxBits+1)<<idxBits|uint64(in.idx+1)) {
+			return
+		}
+	}
+}
+
+// register adds a new instance to the shard's table (slow path: only on
+// pool construction and overflow instantiation).
+func (s *shard[T]) register(in *Instance[T]) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var cur []*Instance[T]
+	if p := s.insts.Load(); p != nil {
+		cur = *p
+	}
+	if len(cur) >= idxMask {
+		panic(fmt.Sprintf("serve: shard exceeds %d instances", idxMask))
+	}
+	next := make([]*Instance[T], len(cur)+1)
+	copy(next, cur)
+	in.idx = uint32(len(cur))
+	in.home = s
+	next[len(cur)] = in
+	s.insts.Store(&next)
+}
+
+// Pool is the sharded serving engine over one instantiation recipe.
+type Pool[T shmem.Resettable] struct {
+	shards    []shard[T]
+	mask      uint64
+	keepState bool
+
+	newRuntime  func(id uint64) shmem.Runtime
+	instantiate func(mem shmem.Mem) T
+	instSeq     atomic.Uint64 // instance id source (seeds, proc ids)
+}
+
+// New builds a pool whose instances live on private native runtimes —
+// the production serving configuration. instantiate stamps one object
+// graph onto a runtime's Mem; with the two-phase model this is
+// bp.Instantiate under the hood, so the expensive compile happens once
+// process-wide no matter how many instances the pool grows.
+func New[T shmem.Resettable](opts Options, instantiate func(mem shmem.Mem) T) *Pool[T] {
+	seed := opts.Seed
+	return NewWithRuntime(opts, func(id uint64) shmem.Runtime {
+		return shmem.NewNative(seed + id)
+	}, instantiate)
+}
+
+// NewWithRuntime is New with an explicit per-instance runtime factory
+// (tests pool simulator-backed instances to replay executions
+// deterministically).
+func NewWithRuntime[T shmem.Resettable](opts Options, newRuntime func(id uint64) shmem.Runtime, instantiate func(mem shmem.Mem) T) *Pool[T] {
+	opts = opts.withDefaults()
+	p := &Pool[T]{
+		shards:      make([]shard[T], opts.Shards),
+		mask:        uint64(opts.Shards - 1),
+		keepState:   opts.KeepState,
+		newRuntime:  newRuntime,
+		instantiate: instantiate,
+	}
+	for i := range p.shards {
+		s := &p.shards[i]
+		for j := 0; j < opts.PerShard; j++ {
+			in := p.newInstance()
+			s.register(in)
+			s.push(in)
+		}
+	}
+	return p
+}
+
+// newInstance instantiates one object graph on a fresh runtime.
+func (p *Pool[T]) newInstance() *Instance[T] {
+	id := p.instSeq.Add(1) - 1
+	rt := p.newRuntime(id)
+	in := &Instance[T]{
+		Obj:  p.instantiate(rt),
+		rt:   rt,
+		pool: p,
+	}
+	if n, ok := rt.(*shmem.Native); ok {
+		// One standalone proc per instance for per-operation serving.
+		// Always id 0: instances are disjoint graphs on private runtimes
+		// (distinct seeds already give distinct coin streams), and dense
+		// per-proc bookkeeping like core.UIDSource sizes itself to the
+		// largest proc id it sees.
+		in.proc = n.NewProc(0)
+	}
+	return in
+}
+
+// goroutineKey returns a cheap value that distinguishes concurrent
+// goroutines: the address of a stack slot. It costs no shared-memory
+// traffic (the alternative — an atomic ticket counter — would put every
+// checkout back on one contended cache line). Stacks can move, so the
+// value is not stable forever; it only steers shard selection, never
+// correctness.
+func goroutineKey() uint64 {
+	var b byte
+	return uint64(uintptr(unsafe.Pointer(&b)))
+}
+
+// hashKey spreads a key over the shards (SplitMix64 finalizer).
+func hashKey(k uint64) uint64 {
+	k = (k ^ (k >> 30)) * 0xbf58476d1ce4e5b9
+	k = (k ^ (k >> 27)) * 0x94d049bb133111eb
+	return k ^ (k >> 31)
+}
+
+// Get checks out an instance, selecting the shard by a cheap
+// per-goroutine hash. The caller owns the instance until Put.
+func (p *Pool[T]) Get() *Instance[T] {
+	return p.GetKeyed(goroutineKey())
+}
+
+// GetKeyed is Get with an explicit shard-selection key (a process id, a
+// connection id — anything roughly uniform).
+func (p *Pool[T]) GetKeyed(key uint64) *Instance[T] {
+	s := &p.shards[hashKey(key)&p.mask]
+	in := s.pop()
+	if in == nil {
+		// Shard ran dry: instantiate from the cached blueprint. The new
+		// instance joins this shard's freelist on Put.
+		in = p.newInstance()
+		s.register(in)
+		s.overflows.Add(1)
+	} else {
+		s.hits.Add(1)
+	}
+	if !in.leased.CompareAndSwap(false, true) {
+		panic("serve: checked-out instance found on the freelist (Put after use-after-Put?)")
+	}
+	return in
+}
+
+// Do checks an instance out, runs one operation against it on the
+// instance's dedicated proc, and recycles it — also when fn panics, so a
+// caller crashing mid-operation cannot leak a dirty graph to the next
+// checkout.
+func (p *Pool[T]) Do(fn func(px shmem.Proc, obj T)) {
+	in := p.Get()
+	defer in.Put()
+	fn(in.Proc(), in.Obj)
+}
+
+// Execute checks an instance out, runs one k-process execution against it,
+// recycles it (also on panic), and returns the execution's accounting.
+// The returned Stats are a private copy: the instance's reusable record
+// goes back to the pool with the instance, where the next checkout would
+// overwrite it under the caller.
+func (p *Pool[T]) Execute(k int, body func(px shmem.Proc, obj T)) *shmem.Stats {
+	in := p.Get()
+	defer in.Put()
+	st := in.Execute(k, body)
+	cp := &shmem.Stats{
+		PerProc:    append([]shmem.OpCounts(nil), st.PerProc...),
+		StepCapHit: st.StepCapHit,
+	}
+	if st.Crashed != nil {
+		cp.Crashed = append([]bool(nil), st.Crashed...)
+	}
+	return cp
+}
+
+// Stats is a point-in-time summary of pool activity.
+type Stats struct {
+	Shards    int
+	Instances int    // instances ever created (pre-instantiated + overflow)
+	Hits      uint64 // checkouts served from a freelist
+	Overflows uint64 // checkouts that instantiated a fresh graph
+}
+
+// Stats sums the per-shard counters.
+func (p *Pool[T]) Stats() Stats {
+	st := Stats{Shards: len(p.shards), Instances: int(p.instSeq.Load())}
+	for i := range p.shards {
+		st.Hits += p.shards[i].hits.Load()
+		st.Overflows += p.shards[i].overflows.Load()
+	}
+	return st
+}

@@ -1,0 +1,119 @@
+package shmem
+
+import "sync/atomic"
+
+// This file is the devirtualized native hot path. Algorithm code is written
+// against the Reg/CASReg/Proc interfaces so it runs unchanged on both
+// runtimes, but on the native runtime every register step then pays two
+// dynamic dispatches: reg.Read → itab call, p.Step → itab call. Neither can
+// be devirtualized by the compiler (the concrete types cross package
+// boundaries through interface-typed fields), and the renaming hot loops
+// perform nothing *but* register steps.
+//
+// FastReg removes both dispatches for the monomorphic case: a handle that,
+// when the register belongs to the native runtime (individually allocated or
+// RegArena-backed — both layouts expose the same atomic word), holds a
+// direct pointer to the word, so Read/Write/CompareAndSwap compile to an
+// inlinable nil-check plus a sync/atomic operation, and the step accounting
+// goes through a direct call on *NativeProc. Registers from any other Mem
+// (the simulator, third-party runtimes) take the original interface path,
+// bit-identical to before — the reuse-equivalence tests pin this down.
+//
+// tas, splitter, maxreg and core store FastReg in place of Reg/CASReg on
+// their hot-path fields; construction wraps once via Fast at instantiation
+// time, outside the step-counted model.
+
+// FastReg is a devirtualized register handle. The zero value is unusable
+// (like a nil Reg); build one with Fast.
+type FastReg struct {
+	// w is the register's atomic word when it belongs to the native
+	// runtime; nil otherwise.
+	w *atomic.Uint64
+	// slow is the interface fallback for non-native registers.
+	slow Reg
+}
+
+// Fast wraps a register in a devirtualized handle. Native registers (both
+// the padded and unpadded layout, including arena-backed ones) take the
+// monomorphic fast path; any other implementation keeps its interface
+// dispatch and exact semantics.
+func Fast(r Reg) FastReg {
+	switch t := r.(type) {
+	case *nativeReg:
+		return FastReg{w: &t.v}
+	case *nativeRegPadded:
+		return FastReg{w: &t.v}
+	}
+	return FastReg{slow: r}
+}
+
+// FastAt is Fast(a.Reg(i)) without the intermediate interface conversion.
+func FastAt(a RegArena, i int) FastReg {
+	return Fast(a.Reg(i))
+}
+
+// Read performs one read step.
+func (r FastReg) Read(p Proc) uint64 {
+	if r.w != nil {
+		stepFast(p, OpRead)
+		return r.w.Load()
+	}
+	return r.slow.Read(p)
+}
+
+// Write performs one write step.
+func (r FastReg) Write(p Proc, v uint64) {
+	if r.w != nil {
+		stepFast(p, OpWrite)
+		r.w.Store(v)
+		return
+	}
+	r.slow.Write(p, v)
+}
+
+// CompareAndSwap performs one unit-cost CAS step. The underlying register
+// must support it (both runtimes' registers do).
+func (r FastReg) CompareAndSwap(p Proc, old, new uint64) bool {
+	if r.w != nil {
+		stepFast(p, OpCAS)
+		return r.w.CompareAndSwap(old, new)
+	}
+	return r.slow.(CASReg).CompareAndSwap(p, old, new)
+}
+
+// Restore resets the register between executions (no step accounting).
+func (r FastReg) Restore(v uint64) {
+	if r.w != nil {
+		r.w.Store(v)
+		return
+	}
+	r.slow.(Restorer).Restore(v)
+}
+
+// stepFast accounts one step, devirtualized for native procs.
+func stepFast(p Proc, op Op) {
+	if np, ok := p.(*NativeProc); ok {
+		np.Step(op)
+		return
+	}
+	p.Step(op)
+}
+
+// NoteFast is p.Note, devirtualized for native procs. Hot loops that note an
+// accounting event per object traversal (comparators, splitters,
+// test-and-set entries) use it to skip the itab call.
+func NoteFast(p Proc, ev Event) {
+	if np, ok := p.(*NativeProc); ok {
+		np.Note(ev)
+		return
+	}
+	p.Note(ev)
+}
+
+// CoinFast is p.Coin, devirtualized for native procs.
+func CoinFast(p Proc, n uint64) uint64 {
+	if np, ok := p.(*NativeProc); ok {
+		return np.Coin(n)
+	}
+	return p.Coin(n)
+}

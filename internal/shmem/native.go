@@ -93,13 +93,13 @@ func (n *Native) newReg(init uint64) CASReg {
 func (n *Native) Run(k int, body func(p Proc)) *Stats {
 	// One contiguous, padded slice: each proc's counters live in their own
 	// cache lines, so concurrent Step accounting never false-shares.
-	procs := make([]nativeProc, k)
+	procs := make([]NativeProc, k)
 	var wg sync.WaitGroup
 	wg.Add(k)
 	for i := 0; i < k; i++ {
 		p := &procs[i]
 		p.id = i
-		p.rng = *rng.Derive(n.seed, uint64(i))
+		p.rng = rng.Derived(n.seed, uint64(i))
 		p.rt = n
 		go func() {
 			defer wg.Done()
@@ -112,6 +112,64 @@ func (n *Native) Run(k int, body func(p Proc)) *Stats {
 		st.PerProc[i] = procs[i].counts
 	}
 	return st
+}
+
+// NewProc returns a standalone process context bound to the runtime, for
+// serving loops that run operations outside Run (one checkout at a time
+// against a pooled object graph — see internal/serve). The coin stream
+// derives from (seed, id), exactly as Run derives the stream of process id.
+// A NativeProc must only be used by one goroutine at a time.
+func (n *Native) NewProc(id int) *NativeProc {
+	return &NativeProc{id: id, rt: n, rng: rng.Derived(n.seed, uint64(id))}
+}
+
+// RunGroup is a reusable execution context for repeated Run calls against
+// the same runtime: the proc contexts and the Stats record are allocated
+// once and recycled, so the steady state of a serving loop spends zero
+// allocations per execution beyond the k goroutines themselves.
+//
+// Each Run re-derives the same per-process coin streams Native.Run would,
+// so a RunGroup execution is indistinguishable from a plain Run. The
+// returned Stats are valid until the next Run on the same group.
+type RunGroup struct {
+	n     *Native
+	procs []NativeProc
+	stats Stats
+}
+
+// NewRunGroup returns a reusable context for k-process executions.
+func (n *Native) NewRunGroup(k int) *RunGroup {
+	return &RunGroup{
+		n:     n,
+		procs: make([]NativeProc, k),
+		stats: Stats{PerProc: make([]OpCounts, k)},
+	}
+}
+
+// K returns the group's process count.
+func (g *RunGroup) K() int { return len(g.procs) }
+
+// Run executes body once per process, reusing the group's proc contexts.
+func (g *RunGroup) Run(body func(p Proc)) *Stats {
+	var wg sync.WaitGroup
+	wg.Add(len(g.procs))
+	for i := range g.procs {
+		p := &g.procs[i]
+		p.id = i
+		p.rng = rng.Derived(g.n.seed, uint64(i))
+		p.rt = g.n
+		p.steps = 0
+		p.counts = OpCounts{}
+		go func() {
+			defer wg.Done()
+			body(p)
+		}()
+	}
+	wg.Wait()
+	for i := range g.procs {
+		g.stats.PerProc[i] = g.procs[i].counts
+	}
+	return &g.stats
 }
 
 type nativeReg struct {
@@ -196,7 +254,11 @@ func (a nativePaddedArena) Reset() {
 	}
 }
 
-type nativeProc struct {
+// NativeProc is the native runtime's per-process execution context. It is
+// exported so the devirtualized register path (see fast.go) can reach its
+// methods through direct calls; user code holds it as a Proc. One goroutine
+// at a time per NativeProc.
+type NativeProc struct {
 	id     int
 	rt     *Native
 	rng    rng.SplitMix64
@@ -205,14 +267,17 @@ type nativeProc struct {
 	_      [64]byte // keep adjacent procs' counters off each other's lines
 }
 
-func (p *nativeProc) ID() int { return p.id }
+// ID returns the process index.
+func (p *NativeProc) ID() int { return p.id }
 
-func (p *nativeProc) Coin(n uint64) uint64 {
+// Coin returns a uniform value in [0, n) from the proc's private stream.
+func (p *NativeProc) Coin(n uint64) uint64 {
 	p.counts.Coins++
 	return p.rng.Uint64n(n)
 }
 
-func (p *nativeProc) Step(op Op) {
+// Step accounts for one shared-memory operation.
+func (p *NativeProc) Step(op Op) {
 	p.counts.Ops[op]++
 	p.steps++
 	if p.rt.ts {
@@ -220,7 +285,8 @@ func (p *nativeProc) Step(op Op) {
 	}
 }
 
-func (p *nativeProc) Note(ev Event) {
+// Note records a non-step accounting event.
+func (p *NativeProc) Note(ev Event) {
 	p.counts.Events[ev]++
 }
 
@@ -228,7 +294,7 @@ func (p *nativeProc) Note(ev Event) {
 // WithTimestamps, and the process-local step count otherwise. The local
 // count is monotone per process but not comparable across processes — the
 // documented trade for a contention-free step path.
-func (p *nativeProc) Now() uint64 {
+func (p *NativeProc) Now() uint64 {
 	if p.rt.ts {
 		return p.rt.clock.Load()
 	}
@@ -237,6 +303,24 @@ func (p *nativeProc) Now() uint64 {
 
 // StepsTaken returns the process's own running step count (used by the
 // benchmark harness to attribute costs to individual operations).
-func (p *nativeProc) StepsTaken() uint64 {
+func (p *NativeProc) StepsTaken() uint64 {
 	return p.steps
+}
+
+// Counts returns a copy of the proc's accounting record (serving loops
+// aggregate these across checkouts; Run-based executions read Stats
+// instead).
+func (p *NativeProc) Counts() OpCounts {
+	return p.counts
+}
+
+// Reset rewinds a standalone proc to its just-created state: the coin
+// stream re-derives from (runtime seed, id) and the accounting zeroes.
+// Serving pools recycle procs with it between checkouts, so a recycled
+// proc is indistinguishable from NewProc(id) — the proc-side half of the
+// pooled bit-identical-reuse contract. Between operations only.
+func (p *NativeProc) Reset() {
+	p.rng = rng.Derived(p.rt.seed, uint64(p.id))
+	p.steps = 0
+	p.counts = OpCounts{}
 }

@@ -28,10 +28,18 @@ func IsSerial(mem Mem) bool {
 // comparators); a LazyTable materializes only the objects an execution
 // touches. Allocation is bookkeeping outside the shared-memory model — no
 // simulated steps are charged — but it sits on the hot path of every object
-// access, so the table has two implementations: on Serial runtimes an
-// unsynchronized open-addressing table (one multiply-shift hash, linear
-// probing, no per-entry allocation), otherwise a sync.Map (each object
-// still created exactly once per key as far as any process can observe).
+// access, so both implementations keep the lookup allocation-free:
+//
+//   - on Serial runtimes an unsynchronized open-addressing table (one
+//     multiply-shift hash, linear probing, no per-entry allocation);
+//   - otherwise the same open-addressing layout with lock-free lookups:
+//     keys are atomic words, values are published before their key
+//     (release/acquire through the key), inserts and growth serialize on a
+//     mutex, and the table itself swaps copy-on-write. Lookups never lock,
+//     never box the key (the previous sync.Map backing allocated a boxed
+//     uint64 per lookup — one heap allocation per comparator access on the
+//     native hot path), and each object is created exactly once per key as
+//     far as any process can observe.
 type LazyTable[V any] struct {
 	// Serial path: open addressing with linear probing over key/value pairs
 	// (co-located so a probe costs one cache line). Key 0 is the empty
@@ -43,13 +51,25 @@ type LazyTable[V any] struct {
 	hasZero bool
 	serial  bool
 
-	m sync.Map
-	n atomic.Int64 // concurrent-path size
+	// Concurrent path.
+	tab     atomic.Pointer[lazyCTab[V]]
+	zeroSet atomic.Bool // publishes zeroVal (written under mu)
+	mu      sync.Mutex  // guards inserts and growth
+	n       atomic.Int64
 }
 
 type lazySlot[V any] struct {
 	key uint64
 	val V
+}
+
+// lazyCTab is one immutable-capacity generation of the concurrent table.
+// vals[i] is written before keys[i] is atomically set, so any reader that
+// observes the key also observes the value (release/acquire on the key).
+type lazyCTab[V any] struct {
+	shift uint
+	keys  []atomic.Uint64 // 0 = empty
+	vals  []V
 }
 
 const lazyTableMinSize = 64 // power of two
@@ -61,13 +81,41 @@ func NewLazyTable[V any](mem Mem) *LazyTable[V] {
 		t.serial = true
 		t.slots = make([]lazySlot[V], lazyTableMinSize)
 		t.shift = 64 - uint(bits.TrailingZeros(lazyTableMinSize))
+	} else {
+		t.tab.Store(newLazyCTab[V](lazyTableMinSize))
 	}
 	return t
+}
+
+func newLazyCTab[V any](size int) *lazyCTab[V] {
+	return &lazyCTab[V]{
+		shift: 64 - uint(bits.TrailingZeros(uint(size))),
+		keys:  make([]atomic.Uint64, size),
+		vals:  make([]V, size),
+	}
 }
 
 // hash spreads a key over the table with a Fibonacci multiply-shift.
 func (t *LazyTable[V]) hash(key uint64) uint64 {
 	return (key * 0x9e3779b97f4a7c15) >> t.shift
+}
+
+func (c *lazyCTab[V]) hash(key uint64) uint64 {
+	return (key * 0x9e3779b97f4a7c15) >> c.shift
+}
+
+// lookup probes one concurrent-table generation.
+func (c *lazyCTab[V]) lookup(key uint64) (V, bool) {
+	mask := uint64(len(c.keys) - 1)
+	for i := c.hash(key); ; i = (i + 1) & mask {
+		switch c.keys[i].Load() {
+		case key:
+			return c.vals[i], true
+		case 0:
+			var zero V
+			return zero, false
+		}
+	}
 }
 
 // Lookup returns the object at key if it exists. The hit path takes no
@@ -91,11 +139,14 @@ func (t *LazyTable[V]) Lookup(key uint64) (V, bool) {
 			}
 		}
 	}
-	if v, ok := t.m.Load(key); ok {
-		return v.(V), true
+	if key == 0 {
+		if t.zeroSet.Load() {
+			return t.zeroVal, true
+		}
+		var zero V
+		return zero, false
 	}
-	var zero V
-	return zero, false
+	return t.tab.Load().lookup(key)
 }
 
 // Insert publishes the object for key and returns the table's winner: v
@@ -127,9 +178,32 @@ func (t *LazyTable[V]) Insert(key uint64, v V) V {
 			}
 		}
 	}
-	if w, loaded := t.m.LoadOrStore(key, v); loaded {
-		return w.(V)
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if key == 0 {
+		if t.zeroSet.Load() {
+			return t.zeroVal
+		}
+		t.zeroVal = v
+		t.zeroSet.Store(true)
+		t.n.Add(1)
+		return v
 	}
+	c := t.tab.Load()
+	// Re-check under the lock: another goroutine may have inserted key.
+	if w, ok := c.lookup(key); ok {
+		return w
+	}
+	if n := t.n.Load(); 4*(n+1) > 3*int64(len(c.keys)) {
+		c = t.growConcurrent(c)
+	}
+	mask := uint64(len(c.keys) - 1)
+	i := c.hash(key)
+	for c.keys[i].Load() != 0 {
+		i = (i + 1) & mask
+	}
+	c.vals[i] = v        // value first...
+	c.keys[i].Store(key) // ...then the key that publishes it
 	t.n.Add(1)
 	return v
 }
@@ -152,6 +226,29 @@ func (t *LazyTable[V]) grow() {
 	}
 }
 
+// growConcurrent doubles the concurrent table (mu held): entries move to a
+// fresh generation, which is published wholesale. Readers concurrently
+// probing the old generation still see every entry inserted before the
+// growth; they pick up the new generation on their next Lookup.
+func (t *LazyTable[V]) growConcurrent(old *lazyCTab[V]) *lazyCTab[V] {
+	next := newLazyCTab[V](2 * len(old.keys))
+	mask := uint64(len(next.keys) - 1)
+	for i := range old.keys {
+		k := old.keys[i].Load()
+		if k == 0 {
+			continue
+		}
+		j := next.hash(k)
+		for next.keys[j].Load() != 0 {
+			j = (j + 1) & mask
+		}
+		next.vals[j] = old.vals[i]
+		next.keys[j].Store(k)
+	}
+	t.tab.Store(next)
+	return next
+}
+
 // Range calls f for every object in the table until f returns false. The
 // iteration order is unspecified. Range is bookkeeping (Reset walks the
 // instantiated object graph with it) and must not run concurrently with
@@ -168,7 +265,15 @@ func (t *LazyTable[V]) Range(f func(key uint64, v V) bool) {
 		}
 		return
 	}
-	t.m.Range(func(k, v any) bool { return f(k.(uint64), v.(V)) })
+	if t.zeroSet.Load() && !f(0, t.zeroVal) {
+		return
+	}
+	c := t.tab.Load()
+	for i := range c.keys {
+		if k := c.keys[i].Load(); k != 0 && !f(k, c.vals[i]) {
+			return
+		}
+	}
 }
 
 // Len returns the number of objects created so far (a space probe).

@@ -26,20 +26,20 @@ const (
 // Splitter is a one-shot Moir–Anderson splitter. Contenders must use
 // distinct nonzero ids.
 type Splitter struct {
-	x shmem.Reg // last contender to announce
-	y shmem.Reg // door: nonzero once any contender passed
+	x shmem.FastReg // last contender to announce
+	y shmem.FastReg // door: nonzero once any contender passed
 }
 
 // NewSplitter allocates a splitter from mem.
 func NewSplitter(mem shmem.Mem) *Splitter {
-	return &Splitter{x: mem.NewReg(0), y: mem.NewReg(0)}
+	return &Splitter{x: shmem.Fast(mem.NewReg(0)), y: shmem.Fast(mem.NewReg(0))}
 }
 
 // Reset restores the splitter to its initial state (no contender has
 // entered). Bookkeeping between executions; charges no steps.
 func (s *Splitter) Reset() {
-	shmem.Restore(s.x, 0)
-	shmem.Restore(s.y, 0)
+	s.x.Restore(0)
+	s.y.Restore(0)
 }
 
 // Visit runs the splitter protocol for the contender with the given id.
@@ -52,7 +52,7 @@ func (s *Splitter) Visit(p shmem.Proc, id uint64) Outcome {
 	if id == 0 {
 		panic("splitter: contender id must be nonzero")
 	}
-	p.Note(shmem.EvSplitter)
+	shmem.NoteFast(p, shmem.EvSplitter)
 	s.x.Write(p, id)
 	if s.y.Read(p) != 0 {
 		return Down
@@ -122,8 +122,8 @@ func (t *Tree) newSplitter() *Splitter {
 		t.off = 0
 	}
 	s := &t.shells[t.off]
-	s.x = t.chunk.Reg(2 * t.off)
-	s.y = t.chunk.Reg(2*t.off + 1)
+	s.x = shmem.FastAt(t.chunk, 2*t.off)
+	s.y = shmem.FastAt(t.chunk, 2*t.off+1)
 	t.off++
 	return s
 }
@@ -163,6 +163,6 @@ func (t *Tree) Acquire(p shmem.Proc, id uint64) uint64 {
 		if t.node(idx).Visit(p, id) == Stop {
 			return idx
 		}
-		idx = 2*idx + p.Coin(2)
+		idx = 2*idx + shmem.CoinFast(p, 2)
 	}
 }

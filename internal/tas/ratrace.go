@@ -106,12 +106,12 @@ func resetSided(s Sided) {
 
 // TestAndSet runs the contender with the given distinct nonzero id.
 func (r *RatRace) TestAndSet(p shmem.Proc, id uint64) bool {
-	p.Note(shmem.EvTASEnter)
+	shmem.NoteFast(p, shmem.EvTASEnter)
 	if r.fast != nil && r.fast.Visit(p, id) == splitter.Stop {
 		// Fast path: at most one contender stops here (splitter property)
 		// and meets the tournament champion in the final TAS.
 		if r.final.TestAndSetSide(p, 0) {
-			p.Note(shmem.EvTASWin)
+			shmem.NoteFast(p, shmem.EvTASWin)
 			return true
 		}
 		return false
@@ -139,6 +139,6 @@ func (r *RatRace) TestAndSet(p shmem.Proc, id uint64) bool {
 	if r.fast != nil && !r.final.TestAndSetSide(p, 1) {
 		return false // the tournament champion still has to beat the fast-path contender
 	}
-	p.Note(shmem.EvTASWin)
+	shmem.NoteFast(p, shmem.EvTASWin)
 	return true
 }

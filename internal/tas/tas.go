@@ -39,9 +39,11 @@ type Sided interface {
 
 // Unit is the hardware test-and-set: a single compare-and-swap on one word,
 // counted as one step. It supports any number of contenders and also
-// implements Sided (the side is irrelevant).
+// implements Sided (the side is irrelevant). The word is held through the
+// devirtualized register handle: on the native runtime a TestAndSet is an
+// inlined atomic CAS with no interface dispatch.
 type Unit struct {
-	w shmem.CASReg
+	w shmem.FastReg
 }
 
 var (
@@ -51,14 +53,14 @@ var (
 
 // NewUnit allocates a hardware TAS from mem.
 func NewUnit(mem shmem.Mem) *Unit {
-	return &Unit{w: mem.NewCASReg(0)}
+	return &Unit{w: shmem.Fast(mem.NewCASReg(0))}
 }
 
 // TestAndSet wins iff the caller's CAS is the first.
 func (t *Unit) TestAndSet(p shmem.Proc) bool {
-	p.Note(shmem.EvTASEnter)
+	shmem.NoteFast(p, shmem.EvTASEnter)
 	if t.w.CompareAndSwap(p, 0, 1) {
-		p.Note(shmem.EvTASWin)
+		shmem.NoteFast(p, shmem.EvTASWin)
 		return true
 	}
 	return false
@@ -67,13 +69,13 @@ func (t *Unit) TestAndSet(p shmem.Proc) bool {
 // TestAndSetSide wins iff the caller's CAS is the first. Used as an
 // internal two-process object, it is accounted as such.
 func (t *Unit) TestAndSetSide(p shmem.Proc, _ int) bool {
-	p.Note(shmem.EvTAS2Enter)
+	shmem.NoteFast(p, shmem.EvTAS2Enter)
 	return t.w.CompareAndSwap(p, 0, 1)
 }
 
 // Reset restores the object to its unwon state (between executions only).
 func (t *Unit) Reset() {
-	shmem.Restore(t.w, 0)
+	t.w.Restore(0)
 }
 
 // TwoProc is a randomized two-process test-and-set built from three shared
@@ -105,8 +107,8 @@ func (t *Unit) Reset() {
 // rounds and O(log n) rounds with probability 1 − 1/n^c — the
 // Tromp–Vitányi cost profile quoted in Section 2 of the paper.
 type TwoProc struct {
-	s [2]shmem.Reg
-	w shmem.CASReg
+	s [2]shmem.FastReg
+	w shmem.FastReg
 }
 
 var _ Sided = (*TwoProc)(nil)
@@ -119,16 +121,16 @@ func NewTwoProc(mem shmem.Mem) *TwoProc {
 }
 
 func (t *TwoProc) init(mem shmem.Mem) {
-	t.s = [2]shmem.Reg{mem.NewReg(0), mem.NewReg(0)}
-	t.w = mem.NewCASReg(0)
+	t.s = [2]shmem.FastReg{shmem.Fast(mem.NewReg(0)), shmem.Fast(mem.NewReg(0))}
+	t.w = shmem.Fast(mem.NewCASReg(0))
 }
 
 // Reset restores the object to its unentered state (between executions
 // only).
 func (t *TwoProc) Reset() {
-	shmem.Restore(t.s[0], 0)
-	shmem.Restore(t.s[1], 0)
-	shmem.Restore(t.w, 0)
+	t.s[0].Restore(0)
+	t.s[1].Restore(0)
+	t.w.Restore(0)
 }
 
 // poolChunk is the number of TwoProc objects (three registers each) a Pool
@@ -185,8 +187,8 @@ func (pl *Pool) Make(shmem.Mem) Sided {
 		pl.off = 0
 	}
 	t := &pl.shells[pl.off]
-	t.s = [2]shmem.Reg{pl.chunk.Reg(3 * pl.off), pl.chunk.Reg(3*pl.off + 1)}
-	t.w = pl.chunk.CASReg(3*pl.off + 2)
+	t.s = [2]shmem.FastReg{shmem.FastAt(pl.chunk, 3*pl.off), shmem.FastAt(pl.chunk, 3*pl.off+1)}
+	t.w = shmem.FastAt(pl.chunk, 3*pl.off+2)
 	pl.off++
 	return t
 }
@@ -232,9 +234,9 @@ func (t *TwoProc) TestAndSetSide(p shmem.Proc, side int) bool {
 	if side != 0 && side != 1 {
 		panic("tas: TwoProc side must be 0 or 1")
 	}
-	p.Note(shmem.EvTAS2Enter)
+	shmem.NoteFast(p, shmem.EvTAS2Enter)
 	round := uint64(1)
-	coin := p.Coin(2)
+	coin := shmem.CoinFast(p, 2)
 	for {
 		t.s[side].Write(p, packRound(round, coin))
 		opp := t.s[1-side].Read(p)
@@ -247,10 +249,10 @@ func (t *TwoProc) TestAndSetSide(p shmem.Proc, side int) bool {
 			return t.claim(p, side) // opponent behind
 		case oppRound > round:
 			round = oppRound // catch up and re-flip
-			coin = p.Coin(2)
+			coin = shmem.CoinFast(p, 2)
 		case oppCoin == coin:
 			round++ // tie: next round
-			coin = p.Coin(2)
+			coin = shmem.CoinFast(p, 2)
 		case coin == 1:
 			return t.claim(p, side) // coin-dominant
 		default:

@@ -88,6 +88,16 @@ func NewSimTraced(seed uint64, adv Adversary, fn func(TraceEvent)) *SimRuntime {
 // NativeOption configures the native runtime.
 type NativeOption = shmem.NativeOption
 
+// Native is the concrete native runtime. Serving loops that need the
+// beyond-Runtime surface (standalone procs via NewProc, reusable
+// execution groups via NewRunGroup) downcast the NewNative result to it.
+type Native = shmem.Native
+
+// NativeProc is the native runtime's per-process context. Register
+// operations on native registers devirtualize against it: the step
+// accounting behind every Read/Write/TAS compiles to direct calls.
+type NativeProc = shmem.NativeProc
+
 // NewNative returns the concurrent runtime: real goroutines over
 // sync/atomic registers. Interleavings are up to the Go scheduler; step
 // counts remain exact and are accounted per process without any shared

@@ -14,6 +14,9 @@ import (
 	"testing"
 
 	renaming "repro"
+	"repro/internal/serve"
+	"repro/internal/shmem"
+	"repro/internal/sim"
 )
 
 // advPoint names one adversary construction so both paths build identical,
@@ -125,6 +128,59 @@ func TestResetPathBitIdenticalToFresh(t *testing.T) {
 
 						if !reflect.DeepEqual(want, got) {
 							t.Errorf("reset path diverged from fresh construction\nfresh: %+v\nreset: %+v", want, got)
+						}
+					})
+				}
+			}
+		})
+	}
+}
+
+// pooledGraph adapts an equivCase's (body, reset) pair to the Resettable
+// object the serving pool manages.
+type pooledGraph struct {
+	body  func(p renaming.Proc)
+	reset func()
+}
+
+func (g *pooledGraph) Reset() { g.reset() }
+
+// TestPooledCheckoutBitIdenticalToFresh extends the reuse contract to the
+// serving engine: an instance checked out of a serve.Pool — previously
+// dirtied through an earlier checkout and recycled by Put — must replay
+// every (seed, adversary) point bit-identically to a fresh construction.
+// This is the same matrix as TestResetPathBitIdenticalToFresh, routed
+// through the pool's checkout/recycle path instead of calling Reset by
+// hand.
+func TestPooledCheckoutBitIdenticalToFresh(t *testing.T) {
+	for _, tc := range equivCases() {
+		t.Run(tc.name, func(t *testing.T) {
+			pool := serve.NewWithRuntime(serve.Options{Shards: 1, PerShard: 1},
+				func(uint64) shmem.Runtime { return sim.New(999, sim.NewRandom(999)) },
+				func(mem shmem.Mem) *pooledGraph {
+					body, reset := tc.build(mem)
+					return &pooledGraph{body: body, reset: reset}
+				})
+
+			// Dirty the pooled instance through a checkout; Put recycles it.
+			warm := pool.Get()
+			warm.Runtime().Run(tc.k, warm.Obj.body)
+			warm.Put()
+
+			for _, ap := range advMatrix() {
+				for seed := uint64(0); seed < 4; seed++ {
+					t.Run(fmt.Sprintf("%s/seed=%d", ap.name, seed), func(t *testing.T) {
+						fresh := renaming.NewSim(seed, ap.make(seed))
+						fBody, _ := tc.build(fresh)
+						want := fresh.Run(tc.k, fBody)
+
+						in := pool.Get()
+						in.Runtime().(*sim.Runtime).Reset(seed, ap.make(seed))
+						got := in.Runtime().Run(tc.k, in.Obj.body)
+						in.Put()
+
+						if !reflect.DeepEqual(want, got) {
+							t.Errorf("pooled checkout diverged from fresh construction\nfresh: %+v\npool:  %+v", want, got)
 						}
 					})
 				}

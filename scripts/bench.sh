@@ -3,26 +3,37 @@
 # the machine-readable perf-trajectory record (one file per measurement,
 # numbered consecutively; BENCH_1.json is the record of the scheduler
 # fast-path PR, including its seed baseline; BENCH_2.json is the record of
-# the two-phase object model PR — the construction-vs-execution split).
+# the two-phase object model PR — the construction-vs-execution split;
+# BENCH_3.json is the record of the sharded serving engine PR — the
+# parallel throughput suite plus the devirtualized serial path).
 #
-# The default pattern covers both halves of the split: the execution
-# benchmarks (reset-many steady state), the FreshBuild benchmarks (the
-# pre-two-phase construct-per-execution behavior), and the Instantiate
-# benchmarks (blueprint → shared state stamping). The amortization win of
-# compile-once/reset-many is FreshBuildX / X for each matching pair.
+# Two passes feed one results array:
+#
+#   1. the serial pass: execution benchmarks (reset-many steady state),
+#      FreshBuild/Instantiate/CompileCold (the two-phase split);
+#   2. the parallel pass: the *Throughput benchmarks under a -cpu sweep
+#      (rows gain the standard -<cpus> name suffix). The -cpu 1 rows are
+#      the single-goroutine baseline of the scaling comparison; PoolX vs
+#      UnpooledX/SharedX at equal -cpu isolates what the serving engine
+#      buys at fixed parallelism.
 #
 # Usage:
 #   scripts/bench.sh                 # next free BENCH_<n>.json, 2s per bench
 #   BENCHTIME=5s scripts/bench.sh    # longer per-benchmark budget
-#   BENCH='BenchmarkStrongAdaptive$' scripts/bench.sh   # subset
+#   BENCH='BenchmarkStrongAdaptive$' scripts/bench.sh   # serial subset
+#   CPUS=1,2,4,8 scripts/bench.sh    # parallel-pass GOMAXPROCS sweep
+#   CPUS=none scripts/bench.sh       # skip the parallel pass
 #
 # The experiment tables (renamebench) have their own machine-readable
-# output: go run ./cmd/renamebench -json
+# output: go run ./cmd/renamebench -json; the serving-throughput table is
+# go run ./cmd/renamebench -parallel <G>.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 benchtime="${BENCHTIME:-2s}"
 pattern="${BENCH:-BenchmarkStrongAdaptive\$|BenchmarkStrongAdaptiveHardware|BenchmarkNativeRenaming\$|BenchmarkNativeCounter|BenchmarkFreshBuild|BenchmarkInstantiate|BenchmarkCompileCold|BenchmarkBitBatching\$}"
+parpattern="${PARBENCH:-Throughput}"
+cpus="${CPUS:-1,2,4}"
 
 n=1
 while [ -e "BENCH_${n}.json" ]; do n=$((n + 1)); done
@@ -30,6 +41,13 @@ out="BENCH_${n}.json"
 
 raw=$(go test -run '^$' -bench "$pattern" -benchtime "$benchtime" .)
 printf '%s\n' "$raw" >&2
+
+if [ "$cpus" != "none" ]; then
+	parraw=$(go test -run '^$' -bench "$parpattern" -benchtime "$benchtime" -cpu "$cpus" .)
+	printf '%s\n' "$parraw" >&2
+	raw="$raw
+$parraw"
+fi
 
 {
 	echo '{'
