@@ -186,6 +186,56 @@ func BenchmarkNativeRenaming(b *testing.B) {
 	}
 }
 
+// BenchmarkNativeRenamingFaultArmed measures the armed step hook: the same
+// execution as BenchmarkNativeRenaming but with a FaultPlan armed that
+// never fires (it names a process id that never runs), so the difference
+// to BenchmarkNativeRenaming is the per-step cost of hook dispatch plus
+// the plan checks. The disarmed cost is the nil-check already included in
+// BenchmarkNativeRenaming (compare against BENCH_3 — see BENCHMARKS.md).
+func BenchmarkNativeRenamingFaultArmed(b *testing.B) {
+	for _, k := range []int{8, 64} {
+		b.Run(fmt.Sprintf("k=%d", k), func(b *testing.B) {
+			rt := renaming.NewNative(1).(*renaming.Native)
+			sa := renaming.CompileRenaming(renaming.WithHardwareTAS()).Instantiate(rt)
+			ex := renaming.NewExecution(rt, k)
+			ex.Faults(renaming.CrashAtStep(map[int]uint64{k: 1 << 60}))
+			body := func(p renaming.Proc) { sa.Rename(p, uint64(p.ID())+1) }
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if i > 0 {
+					sa.Reset()
+				}
+				ex.Run(body)
+			}
+		})
+	}
+}
+
+// BenchmarkNativeRenamingRecorded measures the trace recorder: recording
+// serializes the native execution (the ordering lock is held across every
+// operation) to obtain a sound total order for sim replay — the documented
+// price of turning a hardware interleaving into a deterministic artifact.
+func BenchmarkNativeRenamingRecorded(b *testing.B) {
+	for _, k := range []int{8, 64} {
+		b.Run(fmt.Sprintf("k=%d", k), func(b *testing.B) {
+			rt := renaming.NewNative(1).(*renaming.Native)
+			sa := renaming.CompileRenaming(renaming.WithHardwareTAS()).Instantiate(rt)
+			ex := renaming.NewExecution(rt, k)
+			ex.Record()
+			body := func(p renaming.Proc) { sa.Rename(p, uint64(p.ID())+1) }
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if i > 0 {
+					sa.Reset()
+				}
+				ex.Run(body)
+			}
+		})
+	}
+}
+
 // BenchmarkNativeCounter measures the monotone counter on real goroutines,
 // instantiate-once / reset-many on a reusable RunGroup.
 func BenchmarkNativeCounter(b *testing.B) {

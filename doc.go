@@ -28,6 +28,10 @@
 //   - NewNative: real goroutines over sync/atomic registers, for wall-clock
 //     benchmarks and for using the objects in ordinary Go programs.
 //
+// The execution layer (below) orchestrates k-process executions uniformly
+// over both, so crash injection and trace recording are no longer
+// simulator-only.
+//
 // # Quick start
 //
 //	rt := renaming.NewNative(42)
@@ -93,8 +97,47 @@
 // the per-operation serving path runs allocation-free (see BENCHMARKS.md
 // "Throughput").
 //
+// # The execution layer: faults, record, replay
+//
+// NewExecution is the runtime-agnostic orchestration surface: it owns the
+// participant lifecycle of repeated k-process executions on either runtime
+// (reusing proc contexts natively, so the steady state allocates nothing)
+// and is where fault injection and trace recording arm:
+//
+//	rt := renaming.NewNative(42)
+//	ex := renaming.NewExecution(rt, 8)
+//	ex.Faults(renaming.NewFaultPlan().CrashAt(3, 100)) // crash p3 at its 100th step
+//	log := ex.Record()
+//	ren := renaming.NewRenaming(rt)
+//	st := ex.Run(func(p renaming.Proc) {
+//	    ex.MarkName(p, ren.Rename(p, uint64(p.ID())+1))
+//	})
+//	err := renaming.CheckRenamingTrace(log) // survivors unique in [1..k]
+//	sim := renaming.Replay(log)             // deterministic re-execution
+//
+// A FaultPlan (crash-at-step, stall windows, Pause/Resume) uses
+// process-local step counts — the clock both runtimes share — and arms on
+// the simulator by wrapping the adversary, and on the native runtime
+// through a step hook whose dispatch is type-based — armed executions run
+// their bodies behind a wrapping proc type, so the disarmed step path is
+// not touched at all and the native hot loop and the serving pools pay
+// nothing until a plan or recorder is armed (measured in BENCHMARKS.md
+// "The execution layer").
+//
+// The EventLog a recorded run produces is deterministic on the simulator
+// (same seed, adversary, and plan ⇒ same log, event for event). Recorded
+// on the native runtime, it is a sound total order of the execution's
+// operations (recording serializes the run to guarantee this), and
+// Replay re-executes it bit-identically on the simulator: same names, same
+// per-process operation counts, same crash sets. CheckRenamingTrace and
+// CheckCounterTrace run the paper's validity conditions over a recorded
+// log from either runtime. Pooled instances expose the same layer through
+// Instance.Exec, so chaos testing runs against checked-out serving
+// instances too; cmd/renametrace -native and examples/chaos drive it.
+//
 // See examples/ for runnable scenarios (threadpool and ticketing serve
-// repeated waves from pools) and BENCHMARKS.md for the benchmark harness,
-// the scheduler fast paths, the construction-cost table, the throughput
-// suite, and the per-experiment index.
+// repeated waves from pools; chaos crash-injects native executions and
+// replays them) and BENCHMARKS.md for the benchmark harness, the scheduler
+// fast paths, the construction-cost table, the throughput suite, and the
+// per-experiment index.
 package renaming

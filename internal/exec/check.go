@@ -1,0 +1,84 @@
+package exec
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/core"
+)
+
+// This file wires the paper's validity conditions (internal/core/check.go)
+// to recorded traces, so an execution recorded on either runtime — crashes
+// included — can be checked after the fact, and a replay can be checked
+// against the original.
+
+// CheckRenamingTrace verifies the strong renaming contract over a recorded
+// execution: every surviving process recorded exactly one name via
+// MarkName, the names are distinct, and they are tight ({1..k} exactly)
+// when no process crashed, or within [1..k] when crashes freed slots the
+// survivors cannot reclaim.
+func CheckRenamingTrace(log *EventLog) error {
+	names, ok := log.Names()
+	crashed := log.Crashed()
+	var got []uint64
+	anyCrash := false
+	for p := 0; p < log.K; p++ {
+		if crashed[p] {
+			anyCrash = true
+			continue
+		}
+		if !ok[p] {
+			return fmt.Errorf("process %d survived but recorded no name", p)
+		}
+		got = append(got, names[p])
+	}
+	if !anyCrash {
+		return core.CheckUniqueTight(got)
+	}
+	return core.CheckUniqueInRange(got, uint64(log.K))
+}
+
+// CheckCounterTrace verifies monotone consistency (Lemma 4) over a
+// recorded counter execution whose body bracketed operations with
+// MarkIncStart/MarkIncEnd and MarkReadStart/MarkRead. Event sequence
+// numbers are the time base: on the simulator they order exactly as the
+// clock, and on the native runtime the serialized recorder makes them a
+// real-time-consistent total order. Increments whose end mark is missing
+// (the process crashed mid-increment) count as started but never
+// completed; unfinished reads are dropped.
+func CheckCounterTrace(log *EventLog) error {
+	var incs, reads []core.Interval
+	openInc := make(map[int32]uint64)
+	openRead := make(map[int32]uint64)
+	for _, e := range log.Events() {
+		if e.Kind != EvMark {
+			continue
+		}
+		switch e.Tag {
+		case TagIncStart:
+			openInc[e.Proc] = e.Seq
+		case TagIncEnd:
+			s, ok := openInc[e.Proc]
+			if !ok {
+				return fmt.Errorf("process %d marked inc-end at %d without inc-start", e.Proc, e.Seq)
+			}
+			delete(openInc, e.Proc)
+			incs = append(incs, core.Interval{Start: s, End: e.Seq})
+		case TagReadStart:
+			openRead[e.Proc] = e.Seq
+		case TagRead:
+			s, ok := openRead[e.Proc]
+			if !ok {
+				return fmt.Errorf("process %d marked read at %d without read-start", e.Proc, e.Seq)
+			}
+			delete(openRead, e.Proc)
+			reads = append(reads, core.Interval{Start: s, End: e.Seq, Val: e.Val})
+		}
+	}
+	// A crashed increment may or may not have taken effect: it counts as
+	// started from its start mark and as never completed.
+	for _, s := range openInc {
+		incs = append(incs, core.Interval{Start: s, End: math.MaxUint64})
+	}
+	return core.CheckMonotoneCounter(incs, reads)
+}

@@ -1,0 +1,327 @@
+package exec
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/shmem"
+	"repro/internal/sim"
+)
+
+// FaultPlan is a runtime-agnostic failure schedule for one k-process
+// execution: crash-at-step, stall windows, and dynamic process pausing.
+// The same plan arms on both runtimes — on the native runtime through a
+// shmem.StepHook (type-dispatched: disarmed executions run the unchanged
+// step path), on the simulator by wrapping the adversary — with the same
+// process-local
+// semantics: positions are expressed in a process's own completed step
+// count, the one clock both runtimes share.
+//
+// On the simulator a plan is deterministic: the same (seed, adversary,
+// FaultPlan) produces the same execution and the same EventLog. Pausing is
+// the exception — it is a live chaos control (Pause/Resume may be called
+// from outside the execution at any time), so its timing is inherently
+// racy; it is honored at decision points on both runtimes but is not part
+// of the deterministic contract.
+//
+// The zero value is an empty plan; configuration methods return the plan
+// for chaining and must complete before the plan is armed.
+type FaultPlan struct {
+	crashAt map[int]uint64
+	stalls  map[int][]Stall
+
+	mu     sync.Mutex
+	paused map[int]*atomic.Bool
+}
+
+// Stall describes one stall window: when the process reaches AtStep
+// completed steps, it is held back — for Steps global steps on the
+// simulator (other processes run ahead), and for Wall wall-clock time on
+// the native runtime.
+type Stall struct {
+	AtStep uint64
+	Steps  uint64
+	Wall   time.Duration
+}
+
+// NewFaultPlan returns an empty plan.
+func NewFaultPlan() *FaultPlan { return &FaultPlan{} }
+
+// CrashAt schedules process proc to crash when it is about to take the step
+// after completing step completed steps (0 crashes it before its first
+// shared-memory operation). The pending operation never happens — the
+// simulator's crash decision and the native hook veto agree on this.
+func (f *FaultPlan) CrashAt(proc int, step uint64) *FaultPlan {
+	if f.crashAt == nil {
+		f.crashAt = make(map[int]uint64)
+	}
+	f.crashAt[proc] = step
+	return f
+}
+
+// StallAt schedules a stall window for proc at the given completed-step
+// count: forSteps global steps on the simulator, wall wall-clock time on
+// the native runtime.
+func (f *FaultPlan) StallAt(proc int, step, forSteps uint64, wall time.Duration) *FaultPlan {
+	if f.stalls == nil {
+		f.stalls = make(map[int][]Stall)
+	}
+	f.stalls[proc] = append(f.stalls[proc], Stall{AtStep: step, Steps: forSteps, Wall: wall})
+	return f
+}
+
+// Pause holds process proc at its next step boundary until Resume. Safe to
+// call from any goroutine, including while an execution is in flight.
+func (f *FaultPlan) Pause(proc int) { f.gate(proc).Store(true) }
+
+// Resume releases a paused process.
+func (f *FaultPlan) Resume(proc int) { f.gate(proc).Store(false) }
+
+// Paused reports whether proc is currently paused.
+func (f *FaultPlan) Paused(proc int) bool {
+	f.mu.Lock()
+	g := f.paused[proc]
+	f.mu.Unlock()
+	return g != nil && g.Load()
+}
+
+func (f *FaultPlan) gate(proc int) *atomic.Bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.paused == nil {
+		f.paused = make(map[int]*atomic.Bool)
+	}
+	g := f.paused[proc]
+	if g == nil {
+		g = new(atomic.Bool)
+		f.paused[proc] = g
+	}
+	return g
+}
+
+// gates snapshots the pause gates for procs 0..k-1 so the per-step path
+// never takes the plan's lock (gates created later by Pause are picked up
+// because gate() is called for every proc up front when a plan is armed).
+func (f *FaultPlan) gates(k int) []*atomic.Bool {
+	gs := make([]*atomic.Bool, k)
+	for i := range gs {
+		gs[i] = f.gate(i)
+	}
+	return gs
+}
+
+// planState is the per-run fault bookkeeping shared by both arming paths:
+// which crashes and stall windows have fired. A fresh one is built per Run
+// so plans are reusable across executions.
+type planState struct {
+	plan       *FaultPlan
+	gatesByID  []*atomic.Bool
+	crashFired []bool
+	stallFired map[int][]bool
+}
+
+func newPlanState(plan *FaultPlan, k int) *planState {
+	st := &planState{plan: plan, gatesByID: plan.gates(k), crashFired: make([]bool, k)}
+	if len(plan.stalls) > 0 {
+		st.stallFired = make(map[int][]bool, len(plan.stalls))
+		for p, ss := range plan.stalls {
+			st.stallFired[p] = make([]bool, len(ss))
+		}
+	}
+	return st
+}
+
+// shouldCrash reports (once) that proc, having completed steps steps, is due
+// to crash.
+func (s *planState) shouldCrash(proc int, steps uint64) bool {
+	at, ok := s.plan.crashAt[proc]
+	if !ok || steps < at || proc >= len(s.crashFired) || s.crashFired[proc] {
+		return false
+	}
+	s.crashFired[proc] = true
+	return true
+}
+
+// dueStall returns the first unfired stall window proc has reached, marking
+// it fired, or nil.
+func (s *planState) dueStall(proc int, steps uint64) *Stall {
+	ss := s.plan.stalls[proc]
+	fired := s.stallFired[proc]
+	for i := range ss {
+		if !fired[i] && steps >= ss[i].AtStep {
+			fired[i] = true
+			return &ss[i]
+		}
+	}
+	return nil
+}
+
+func (s *planState) paused(proc int) bool {
+	return proc < len(s.gatesByID) && s.gatesByID[proc].Load()
+}
+
+// --- Simulator arming: a fault-injecting adversary wrapper. ---
+
+// faultAdversary wraps an adversary with a FaultPlan. Like sim.CrashPlan it
+// expands burst grants into one decision per step, so faults are checked at
+// every step boundary exactly as a step-at-a-time schedule would; it does
+// not implement sim.NonCrashing, so the scheduler keeps consulting it even
+// with one live process.
+type faultAdversary struct {
+	state *planState
+	inner sim.Adversary
+	// stallUntil[p] benches process p until the global clock reaches it.
+	stallUntil []uint64
+	cur        int // process of the inner burst being expanded
+	left       int // remaining steps of that burst
+}
+
+// wrapFaults returns inner with plan's faults injected.
+func wrapFaults(plan *FaultPlan, inner sim.Adversary, k int) sim.Adversary {
+	return &faultAdversary{state: newPlanState(plan, k), inner: inner, stallUntil: make([]uint64, k)}
+}
+
+// Choose delegates to the inner adversary, benching stalled or paused
+// processes (the lowest-numbered unbenched ready process substitutes; if
+// every ready process is benched the choice stands, preserving liveness)
+// and converting due steps into crashes.
+func (a *faultAdversary) Choose(v *sim.View) sim.Decision {
+	var d sim.Decision
+	if a.left > 0 && v.Ready[a.cur] {
+		a.left--
+		d = sim.Decision{Proc: a.cur}
+	} else {
+		a.left = 0 // burst ended (exhausted, or the process finished or crashed)
+		d = a.inner.Choose(v)
+		if d.Burst > 1 {
+			a.cur, a.left = d.Proc, d.Burst-1
+			d.Burst = 0
+		}
+	}
+	// Open due stall windows for every ready process, so a window fires at
+	// the boundary it names even if the inner schedule ignores that process.
+	for p := range v.Ready {
+		if v.Ready[p] {
+			if st := a.state.dueStall(p, v.Steps[p]); st != nil {
+				a.stallUntil[p] = v.Clock + st.Steps
+			}
+		}
+	}
+	if a.benched(v, d.Proc) {
+		if sub := a.substitute(v); sub >= 0 {
+			d = sim.Decision{Proc: sub}
+			a.left = 0 // the benched process's burst grant is forfeit
+		}
+	}
+	if a.state.shouldCrash(d.Proc, v.Steps[d.Proc]) {
+		d.Crash = true
+		d.Burst = 0
+		a.left = 0
+	}
+	return d
+}
+
+// benched reports whether p is inside a stall window or paused.
+func (a *faultAdversary) benched(v *sim.View, p int) bool {
+	return v.Clock < a.stallUntil[p] || a.state.paused(p)
+}
+
+// substitute returns the lowest-numbered ready unbenched process, or -1.
+func (a *faultAdversary) substitute(v *sim.View) int {
+	for p := range v.Ready {
+		if v.Ready[p] && !a.benched(v, p) {
+			return p
+		}
+	}
+	return -1
+}
+
+// --- Native arming: the step hook. ---
+
+// nativeHook implements shmem.StepHook: it injects the FaultPlan's faults
+// and/or records the execution into an EventLog. Recording serializes the
+// execution to obtain a sound total order: the recorder's lock is held from
+// a step's log append until the process's next hook entry, and the process
+// performs the operation inside that window, so operations occur in exactly
+// the recorded order (the property sim.FromTrace replay depends on). The
+// cost is paid only while armed; see BENCHMARKS.md for measurements.
+type nativeHook struct {
+	state *planState
+	log   *EventLog
+
+	mu sync.Mutex
+	// held[p] is true while process p holds mu (between its last append and
+	// its next hook entry). Only process p touches held[p].
+	held []bool
+}
+
+func newNativeHook(plan *FaultPlan, log *EventLog, k int) *nativeHook {
+	h := &nativeHook{log: log, held: make([]bool, k)}
+	if plan != nil {
+		h.state = newPlanState(plan, k)
+	}
+	return h
+}
+
+// OnStep consults the plan, then records the step. The proc's previous
+// operation has completed by the time it re-enters the hook, so the held
+// lock is released first — pause and stall waits never hold the recorder
+// lock.
+func (h *nativeHook) OnStep(p *shmem.NativeProc, op shmem.Op) bool {
+	id := p.ID()
+	if id < len(h.held) && h.held[id] {
+		h.held[id] = false
+		h.mu.Unlock()
+	}
+	if s := h.state; s != nil {
+		for s.paused(id) {
+			time.Sleep(50 * time.Microsecond)
+		}
+		if st := s.dueStall(id, p.StepsTaken()); st != nil && st.Wall > 0 {
+			time.Sleep(st.Wall)
+		}
+		if s.shouldCrash(id, p.StepsTaken()) {
+			if h.log != nil {
+				h.mu.Lock()
+				h.log.append(Event{Proc: int32(id), Kind: EvCrash, Op: op})
+				h.mu.Unlock()
+			}
+			return false
+		}
+	}
+	if h.log != nil {
+		h.mu.Lock()
+		h.log.append(Event{Proc: int32(id), Kind: EvStep, Op: op})
+		if id < len(h.held) {
+			h.held[id] = true // hold until the operation has completed
+		} else {
+			h.mu.Unlock()
+		}
+	}
+	return true
+}
+
+// OnExit releases a held ordering lock when the process leaves the
+// execution (normal return, crash, or panic).
+func (h *nativeHook) OnExit(p *shmem.NativeProc, crashed bool) {
+	id := p.ID()
+	if id < len(h.held) && h.held[id] {
+		h.held[id] = false
+		h.mu.Unlock()
+	}
+}
+
+// mark appends an annotation event with the recorder's synchronization: a
+// proc holding the ordering lock appends in place (the mark lands right
+// after its latest step), anyone else takes the lock briefly.
+func (h *nativeHook) mark(p shmem.Proc, tag MarkTag, v uint64) {
+	id := p.ID()
+	if id < len(h.held) && h.held[id] {
+		h.log.append(Event{Proc: int32(id), Kind: EvMark, Tag: tag, Val: v})
+		return
+	}
+	h.mu.Lock()
+	h.log.append(Event{Proc: int32(id), Kind: EvMark, Tag: tag, Val: v})
+	h.mu.Unlock()
+}

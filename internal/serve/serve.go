@@ -40,6 +40,7 @@ import (
 	"sync/atomic"
 	"unsafe"
 
+	"repro/internal/exec"
 	"repro/internal/shmem"
 )
 
@@ -99,11 +100,11 @@ type Instance[T shmem.Resettable] struct {
 	// Obj is the instantiated object graph.
 	Obj T
 
-	rt    shmem.Runtime
-	proc  *shmem.NativeProc // dedicated serving proc, native only
-	group *shmem.RunGroup   // reusable Execute context, native only
-	pool  *Pool[T]
-	home  *shard[T]
+	rt   shmem.Runtime
+	proc *shmem.NativeProc // dedicated serving proc, native only
+	ex   *exec.Execution   // reusable Execute context (per k)
+	pool *Pool[T]
+	home *shard[T]
 
 	idx    uint32        // position in the home shard's instance table
 	next   atomic.Uint32 // freelist link: idx+1 of the next idle instance
@@ -148,21 +149,35 @@ func (in *Instance[T]) Put() {
 			in.proc.Reset()
 		}
 	}
+	// A FaultPlan or recorder armed on the execution context belongs to the
+	// holder's session, never to the graph: disarm it unconditionally (also
+	// under KeepState), so chaos testing one checkout cannot crash the next
+	// holder's executions.
+	if in.ex != nil {
+		in.ex.Faults(nil)
+		in.ex.StopRecording()
+	}
 	in.home.push(in)
 }
 
 // Execute runs one k-process execution against the instance's object graph
-// and returns its accounting. On the native runtime the proc contexts are
-// pooled per instance, so repeated Executes allocate nothing beyond the k
+// and returns its accounting. Executions go through the unified execution
+// layer (internal/exec): on the native runtime the proc contexts are pooled
+// per instance, so repeated Executes allocate nothing beyond the k
 // goroutines. The Stats are valid until the next Execute on this instance.
 func (in *Instance[T]) Execute(k int, body func(p shmem.Proc, obj T)) *shmem.Stats {
-	if n, ok := in.rt.(*shmem.Native); ok {
-		if in.group == nil || in.group.K() != k {
-			in.group = n.NewRunGroup(k)
-		}
-		return in.group.Run(func(p shmem.Proc) { body(p, in.Obj) })
+	return in.Exec(k).Run(func(p shmem.Proc) { body(p, in.Obj) })
+}
+
+// Exec returns the instance's execution context for k-process executions,
+// building (or rebuilding, when k changes) it on demand. The holder may arm
+// a FaultPlan or trace recording on it before calling Run — chaos-testing a
+// checked-out instance uses the same layer as a standalone execution.
+func (in *Instance[T]) Exec(k int) *exec.Execution {
+	if in.ex == nil || in.ex.K() != k {
+		in.ex = exec.New(in.rt, k)
 	}
-	return in.rt.Run(k, func(p shmem.Proc) { body(p, in.Obj) })
+	return in.ex
 }
 
 // shard is one independent freelist. The hot fields (head, hit/overflow

@@ -11,8 +11,10 @@ import (
 // Native is the concurrent runtime: processes are plain goroutines and
 // registers are sync/atomic words. It provides real parallelism for
 // wall-clock benchmarks; step counts are exact but interleavings are up to
-// the Go scheduler, so adversarial schedules and deterministic replay come
-// from internal/sim instead.
+// the Go scheduler. Adversarial schedules still come from internal/sim,
+// but the execution layer (internal/exec) can inject crashes and stalls
+// here through the step hook below, and can record a native execution's
+// operation order so it replays deterministically on the simulator.
 //
 // Step accounting is contention-free: every process counts its own steps in
 // a cache-line-padded slot, and no shared state is touched per step unless
@@ -24,6 +26,9 @@ type Native struct {
 	seed uint64
 	ts   bool
 	pad  bool
+	// hook, when armed via SetHook, wraps the procs of subsequent Run
+	// calls (see hook.go). nil leaves the step path untouched.
+	hook StepHook
 	// clock is the shared timestamp clock, maintained only WithTimestamps.
 	// Padded so the preceding fields don't share its cache line.
 	_     [64]byte
@@ -68,6 +73,18 @@ func NewNative(seed uint64, opts ...NativeOption) *Native {
 	return n
 }
 
+// Seed returns the seed the runtime's coin streams derive from (trace
+// recorders store it so a recorded execution can be replayed on the
+// simulator with the same streams).
+func (n *Native) Seed() uint64 { return n.seed }
+
+// SetHook arms (or, with nil, disarms) the runtime-level step hook for
+// subsequent Run calls; arming must not race an execution in flight.
+// Execution groups can carry their own hook instead (RunGroup.SetHook),
+// which leaves the runtime disarmed for everyone else. Standalone procs
+// (NewProc) are never hooked.
+func (n *Native) SetHook(h StepHook) { n.hook = h }
+
 // NewReg allocates an atomic register.
 func (n *Native) NewReg(init uint64) Reg {
 	return n.newReg(init)
@@ -89,11 +106,19 @@ func (n *Native) newReg(init uint64) CASReg {
 	return r
 }
 
-// Run executes body on k goroutines and blocks until all return.
+// Run executes body on k goroutines and blocks until all return (or, with
+// a step hook armed, crash). Stats.Crashed is populated exactly when a hook
+// is armed — the native analogue of the simulator's crash accounting.
 func (n *Native) Run(k int, body func(p Proc)) *Stats {
 	// One contiguous, padded slice: each proc's counters live in their own
 	// cache lines, so concurrent Step accounting never false-shares.
 	procs := make([]NativeProc, k)
+	h := n.hook
+	var crashed []bool
+	if h != nil {
+		crashed = make([]bool, k)
+	}
+	spawn := spawnFunc(h, body, crashed)
 	var wg sync.WaitGroup
 	wg.Add(k)
 	for i := 0; i < k; i++ {
@@ -103,11 +128,11 @@ func (n *Native) Run(k int, body func(p Proc)) *Stats {
 		p.rt = n
 		go func() {
 			defer wg.Done()
-			body(p)
+			spawn(p)
 		}()
 	}
 	wg.Wait()
-	st := &Stats{PerProc: make([]OpCounts, k)}
+	st := &Stats{PerProc: make([]OpCounts, k), Crashed: crashed}
 	for i := range procs {
 		st.PerProc[i] = procs[i].counts
 	}
@@ -132,9 +157,11 @@ func (n *Native) NewProc(id int) *NativeProc {
 // so a RunGroup execution is indistinguishable from a plain Run. The
 // returned Stats are valid until the next Run on the same group.
 type RunGroup struct {
-	n     *Native
-	procs []NativeProc
-	stats Stats
+	n       *Native
+	procs   []NativeProc
+	stats   Stats
+	hook    StepHook
+	crashed []bool
 }
 
 // NewRunGroup returns a reusable context for k-process executions.
@@ -149,8 +176,30 @@ func (n *Native) NewRunGroup(k int) *RunGroup {
 // K returns the group's process count.
 func (g *RunGroup) K() int { return len(g.procs) }
 
+// SetHook arms (or, with nil, disarms) a group-level step hook for
+// subsequent Runs. A group hook takes precedence over the runtime-level one
+// and scopes fault injection or recording to this group's executions.
+func (g *RunGroup) SetHook(h StepHook) { g.hook = h }
+
 // Run executes body once per process, reusing the group's proc contexts.
+// With a hook armed (on the group or the runtime), Stats.Crashed reports
+// which processes the hook crashed; it is nil otherwise.
 func (g *RunGroup) Run(body func(p Proc)) *Stats {
+	h := g.hook
+	if h == nil {
+		h = g.n.hook
+	}
+	var crashed []bool
+	if h != nil {
+		if g.crashed == nil || len(g.crashed) != len(g.procs) {
+			g.crashed = make([]bool, len(g.procs))
+		}
+		for i := range g.crashed {
+			g.crashed[i] = false
+		}
+		crashed = g.crashed
+	}
+	spawn := spawnFunc(h, body, crashed)
 	var wg sync.WaitGroup
 	wg.Add(len(g.procs))
 	for i := range g.procs {
@@ -162,13 +211,14 @@ func (g *RunGroup) Run(body func(p Proc)) *Stats {
 		p.counts = OpCounts{}
 		go func() {
 			defer wg.Done()
-			body(p)
+			spawn(p)
 		}()
 	}
 	wg.Wait()
 	for i := range g.procs {
 		g.stats.PerProc[i] = g.procs[i].counts
 	}
+	g.stats.Crashed = crashed
 	return &g.stats
 }
 
@@ -276,7 +326,11 @@ func (p *NativeProc) Coin(n uint64) uint64 {
 	return p.rng.Uint64n(n)
 }
 
-// Step accounts for one shared-memory operation.
+// Step accounts for one shared-memory operation. Fault injection and trace
+// recording do not touch this path: executions with a StepHook armed run
+// their bodies behind a hookedProc wrapper (see hook.go), so the disarmed
+// step stays small enough to inline behind the devirtualized register
+// calls — zero added cost to the native hot loop and the serving pools.
 func (p *NativeProc) Step(op Op) {
 	p.counts.Ops[op]++
 	p.steps++

@@ -17,7 +17,10 @@
 //   - internal/sim: a deterministic lock-step scheduler with a pluggable
 //     strong adaptive adversary, exact step accounting, and crash injection.
 //
-// Algorithm code is identical under both.
+// Algorithm code is identical under both, and the execution layer
+// (internal/exec) orchestrates k-process executions, fault injection, and
+// trace record/replay uniformly across them (natively via the StepHook in
+// hook.go).
 package shmem
 
 // Op classifies a shared-memory step for accounting purposes.

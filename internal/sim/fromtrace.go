@@ -1,0 +1,52 @@
+package sim
+
+import "fmt"
+
+// TraceStep is one entry of an explicit schedule: which process takes the
+// next global step, or is crashed instead of taking it. Sequences of
+// TraceSteps are the wire format between the trace recorder in
+// internal/exec (which can capture them on either runtime) and this
+// package's replay adversary.
+type TraceStep struct {
+	Proc  int32
+	Crash bool
+}
+
+// TraceAdversary replays an explicit schedule step for step. It is how a
+// recorded execution — in particular one recorded on the native runtime,
+// where the Go scheduler chose the interleaving — is re-run under the
+// simulator: with the same seed (same per-process coin streams) and the
+// recorded global operation order, the replay is bit-identical to the
+// original execution.
+//
+// TraceAdversary deliberately does not implement NonCrashing: replay needs
+// one decision per step (traces may crash processes at any point), so the
+// scheduler consults it at every step boundary and never grants bursts.
+type TraceAdversary struct {
+	steps []TraceStep
+	pos   int
+}
+
+// FromTrace returns an adversary that replays the given schedule.
+func FromTrace(steps []TraceStep) *TraceAdversary {
+	return &TraceAdversary{steps: steps}
+}
+
+// Choose schedules the next recorded step. A step that names a non-ready
+// process means the trace does not belong to this execution (different
+// seed, body, or process count) and panics with a diagnostic. When the
+// trace is exhausted while processes are still live — a partial recording —
+// the remaining processes are crashed, so the replay covers exactly the
+// recorded prefix instead of inventing a schedule the recording never saw.
+func (a *TraceAdversary) Choose(v *View) Decision {
+	if a.pos < len(a.steps) {
+		s := a.steps[a.pos]
+		a.pos++
+		p := int(s.Proc)
+		if p < 0 || p >= len(v.Ready) || !v.Ready[p] {
+			panic(fmt.Sprintf("sim: trace step %d schedules process %d, which is not ready — the trace was not recorded from this (seed, body, k)", a.pos-1, p))
+		}
+		return Decision{Proc: p, Crash: s.Crash}
+	}
+	return Decision{Proc: v.firstReady(), Crash: true}
+}

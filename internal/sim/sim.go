@@ -214,6 +214,23 @@ func WithTrace(fn func(TraceEvent)) Option {
 	return func(r *Runtime) { r.trace = fn }
 }
 
+// Seed returns the seed the runtime's coin streams derive from.
+func (r *Runtime) Seed() uint64 { return r.seed }
+
+// Adversary returns the runtime's current adversary (the execution layer
+// wraps it to inject faults without rebuilding the runtime).
+func (r *Runtime) Adversary() Adversary { return r.adv }
+
+// SetAdversary replaces the adversary for the next Run. Like Reset, it must
+// not be called while a run is in flight; the replacement must be fresh
+// (schedules carry state).
+func (r *Runtime) SetAdversary(adv Adversary) { r.adv = adv }
+
+// SetTrace installs (or, with nil, removes) the execution-transcript
+// observer for subsequent runs — the post-construction form of WithTrace.
+// It survives Reset, exactly as a WithTrace observer does.
+func (r *Runtime) SetTrace(fn func(TraceEvent)) { r.trace = fn }
+
 // New returns a simulator with the given coin seed and adversary.
 func New(seed uint64, adv Adversary, opts ...Option) *Runtime {
 	r := &Runtime{

@@ -151,7 +151,10 @@ func AntiCoin(seed uint64) Adversary { return sim.NewAntiCoin(seed) }
 func Laggard(victim int) Adversary { return sim.NewLaggard(victim) }
 
 // CrashAt wraps an adversary so that each process listed in at crashes the
-// first time it is scheduled at or after the given clock value.
+// first time it is scheduled at or after the given global clock value —
+// the simulator-only form. The runtime-agnostic form is a FaultPlan
+// (CrashAtStep, in process-local steps), which also arms on the native
+// runtime; see NewExecution.
 func CrashAt(inner Adversary, at map[int]uint64) Adversary {
 	return sim.NewCrashPlan(inner, at)
 }

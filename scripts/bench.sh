@@ -5,7 +5,11 @@
 # fast-path PR, including its seed baseline; BENCH_2.json is the record of
 # the two-phase object model PR — the construction-vs-execution split;
 # BENCH_3.json is the record of the sharded serving engine PR — the
-# parallel throughput suite plus the devirtualized serial path).
+# parallel throughput suite plus the devirtualized serial path;
+# BENCH_4.json is the record of the unified execution layer PR — the
+# fault-hook overhead suite: NativeRenaming/NativeCounter and the pool Do
+# throughput with the hook disarmed (must sit within noise of BENCH_3),
+# plus the armed FaultArmed/Recorded variants).
 #
 # Two passes feed one results array:
 #
@@ -31,7 +35,7 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 benchtime="${BENCHTIME:-2s}"
-pattern="${BENCH:-BenchmarkStrongAdaptive\$|BenchmarkStrongAdaptiveHardware|BenchmarkNativeRenaming\$|BenchmarkNativeCounter|BenchmarkFreshBuild|BenchmarkInstantiate|BenchmarkCompileCold|BenchmarkBitBatching\$}"
+pattern="${BENCH:-BenchmarkStrongAdaptive\$|BenchmarkStrongAdaptiveHardware|BenchmarkNativeRenaming\$|BenchmarkNativeRenamingFaultArmed|BenchmarkNativeRenamingRecorded|BenchmarkNativeCounter|BenchmarkFreshBuild|BenchmarkInstantiate|BenchmarkCompileCold|BenchmarkBitBatching\$}"
 parpattern="${PARBENCH:-Throughput}"
 cpus="${CPUS:-1,2,4}"
 
