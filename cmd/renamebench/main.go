@@ -14,7 +14,6 @@ import (
 	"fmt"
 	"os"
 	"strings"
-	"time"
 
 	"repro/internal/bench"
 )
@@ -28,19 +27,27 @@ func main() {
 	csv := flag.Bool("csv", false, "emit CSV series for external plotting")
 	jsonOut := flag.Bool("json", false, "emit one machine-readable JSON document per run (see scripts/bench.sh)")
 	parallel := flag.Int("parallel", 0, "measure serving throughput instead of the E-tables: sweep 1..G goroutines against sharded pools (wall-clock, native runtime)")
-	window := flag.Duration("window", 100*time.Millisecond, "measurement window per throughput cell (with -parallel)")
+	loadTable := flag.Bool("load", false, "run the workload-harness table instead of the E-tables: every catalog scenario for one -window against the native pools (see also cmd/renameload)")
+	window := flag.Duration("window", 0, "measurement window per throughput cell (with -parallel; default 100ms) or per scenario (with -load; default 2s — low-rate scenarios need time to arrive)")
 	flag.Parse()
 
 	if *jsonOut && (*markdown || *csv) {
 		fmt.Fprintln(os.Stderr, "renamebench: -json cannot be combined with -markdown or -csv")
 		os.Exit(2)
 	}
+	if *parallel > 0 && *loadTable {
+		fmt.Fprintln(os.Stderr, "renamebench: -parallel and -load are mutually exclusive")
+		os.Exit(2)
+	}
 
 	cfg := bench.Config{Seeds: *seeds, Quick: *quick, Fresh: *fresh}
 	var tables []*bench.Table
-	if *parallel > 0 {
+	switch {
+	case *parallel > 0:
 		tables = []*bench.Table{bench.Throughput(*parallel, *window)}
-	} else {
+	case *loadTable:
+		tables = []*bench.Table{bench.LoadTable(*window)}
+	default:
 		tables = bench.All(cfg)
 	}
 

@@ -1,0 +1,152 @@
+// Command renameload drives the workload harness: it runs one catalog (or
+// flag-adjusted) scenario — open- or closed-loop arrivals, rename/counter
+// op mixes, k-process execution waves with churn and crash storms —
+// against the sharded serving pools and reports per-phase latency
+// quantiles, achieved-vs-offered rates, and sampled live contention.
+//
+// Two runtimes:
+//
+//   - the default native mode is the wall-clock load test: real goroutines
+//     against real pools, latency in nanoseconds, open-loop lateness
+//     accounted so coordinated omission cannot hide stalls;
+//   - -runtime sim runs the same scenario on the deterministic simulator:
+//     latency becomes step complexity and the whole report is a pure
+//     function of (seed, scenario). The command runs the scenario twice
+//     and fails unless the two runs are bit-identical modulo the elapsed
+//     wall time — every sim report is its own replay proof.
+//
+// The process exits non-zero unless the report verdict is "ok", so CI can
+// gate on it directly.
+//
+// Usage:
+//
+//	renameload -list
+//	renameload [-scenario churn] [-rate R] [-duration D] [-workers N]
+//	           [-ops N] [-seed S] [-faults 1@8,3@20|none] [-runtime sim]
+//	           [-json] [-gobench]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	renaming "repro"
+)
+
+func main() {
+	scenario := flag.String("scenario", "steady", "catalog scenario to run (see -list)")
+	list := flag.Bool("list", false, "list the scenario catalog and exit")
+	runtimeName := flag.String("runtime", "native", "native (wall-clock load) | sim (deterministic replay)")
+	rate := flag.Float64("rate", 0, "override the offered rate in ops/sec (scales Peak by the same factor)")
+	duration := flag.Duration("duration", 0, "override the scenario duration")
+	workers := flag.Int("workers", 0, "override the generator goroutine count")
+	ops := flag.Uint64("ops", 0, "override the op budget (sim mode: the exact budget)")
+	seed := flag.Uint64("seed", 0, "override the scenario seed (sim mode: the replay seed)")
+	faults := flag.String("faults", "", "override the fault plan: p@s,p@s crashes process p after s completed steps of each wave; 'none' disarms the scenario's plan")
+	jsonOut := flag.Bool("json", false, "emit the report as JSON")
+	gobench := flag.Bool("gobench", false, "emit one go-bench-style result line (scripts/bench.sh folds these into BENCH_<n>.json)")
+	flag.Parse()
+
+	if *list {
+		fmt.Printf("%-12s %s\n", "scenario", "description")
+		for _, s := range renaming.LoadCatalog() {
+			fmt.Printf("%-12s %s\n", s.Name, s.Note)
+		}
+		return
+	}
+
+	s, ok := renaming.FindScenario(*scenario)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "renameload: unknown scenario %q; available:", *scenario)
+		for _, c := range renaming.LoadCatalog() {
+			fmt.Fprintf(os.Stderr, " %s", c.Name)
+		}
+		fmt.Fprintln(os.Stderr)
+		os.Exit(2)
+	}
+
+	if *rate > 0 {
+		if s.Arrival.Rate > 0 && s.Arrival.Peak > 0 {
+			s.Arrival.Peak *= *rate / s.Arrival.Rate // keep the burst/ramp shape
+		}
+		s.Arrival.Rate = *rate
+	}
+	if *duration > 0 {
+		s.Duration = *duration
+	}
+	if *workers > 0 {
+		s.Workers = *workers
+	}
+	if *ops > 0 {
+		s.Ops = *ops
+	}
+	if *seed > 0 {
+		s.Seed = *seed
+	}
+	switch {
+	case *faults == "none":
+		s.Faults = nil
+	case *faults != "":
+		plan, err := parseFaults(*faults)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "renameload:", err)
+			os.Exit(2)
+		}
+		s.Faults = plan
+	}
+
+	var r *renaming.LoadReport
+	switch *runtimeName {
+	case "native":
+		r = renaming.RunScenario(s, nil)
+	case "sim":
+		// Runs twice; the report's verdict fails unless the runs match
+		// bit-for-bit modulo wall clock — the determinism contract.
+		r, _ = renaming.SimReplayMatches(s, s.Seed)
+	default:
+		fmt.Fprintf(os.Stderr, "renameload: unknown -runtime %q (native | sim)\n", *runtimeName)
+		os.Exit(2)
+	}
+
+	switch {
+	case *gobench:
+		fmt.Println(r.GoBenchRow())
+	case *jsonOut:
+		os.Stdout.Write(r.JSON())
+	default:
+		r.Fprint(os.Stdout)
+	}
+	if r.Verdict != "ok" {
+		fmt.Fprintf(os.Stderr, "renameload: verdict: %s\n", r.Verdict)
+		os.Exit(1)
+	}
+}
+
+// parseFaults parses "p@s,p@s" into a fault plan (same syntax as
+// renametrace -crash).
+func parseFaults(spec string) (*renaming.FaultPlan, error) {
+	plan := renaming.NewFaultPlan()
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		ps, ss, ok := strings.Cut(part, "@")
+		if !ok {
+			return nil, fmt.Errorf("bad -faults entry %q (want p@s)", part)
+		}
+		p, err := strconv.Atoi(ps)
+		if err != nil || p < 0 {
+			return nil, fmt.Errorf("bad process id in -faults entry %q", part)
+		}
+		step, err := strconv.ParseUint(ss, 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad step count in -faults entry %q", part)
+		}
+		plan.CrashAt(p, step)
+	}
+	return plan, nil
+}

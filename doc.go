@@ -135,9 +135,47 @@
 // Instance.Exec, so chaos testing runs against checked-out serving
 // instances too; cmd/renametrace -native and examples/chaos drive it.
 //
+// # Load generation
+//
+// The workload harness turns "run a benchmark" into "serve a workload":
+// a Scenario declares an arrival process (closed-loop with think time, or
+// open-loop steady/Poisson/square-wave-burst/linear-ramp arrivals), an
+// operation mix (pooled renames, counter incs/reads, k-process execution
+// waves), a duration and op budget, optional churn (the wave width k(t)
+// follows a triangle wave — time-varying contention, the adaptive case the
+// paper is about), and an optional FaultPlan armed on every wave (crash
+// storms mid-load). LoadCatalog holds ~9 curated scenarios; RunScenario
+// executes one against the pools:
+//
+//	s, _ := renaming.FindScenario("churn")
+//	r := renaming.RunScenario(s, renaming.NewLoadTarget(s.Seed))
+//	r.Fprint(os.Stdout)      // per-phase p50/p90/p99/p999/max, rates, live k
+//	os.Stdout.Write(r.JSON())
+//
+// Open-loop latency is measured from each operation's scheduled arrival,
+// not its actual start: when the server stalls, queued arrivals accumulate
+// the stall into their measured latency instead of silently stretching the
+// arrival gaps (the coordinated-omission correction). Measurement is
+// allocation-free: each worker records into its own fixed-size
+// log-bucketed histogram (quantiles within 1/32 relative error), merged
+// once at stop, and the per-op path — schedule inversion, op picking,
+// recording — performs zero heap allocations (pinned by a ReportAllocs
+// benchmark). Reports split per phase aligned to burst/ramp edges and
+// sample live contention from the pools' in-flight gauges.
+//
+// RunScenarioSim runs the same scenario on the deterministic simulator:
+// latency becomes step complexity and the whole report (op counts, names,
+// crash sets, quantiles, checksum) is a pure function of (seed, scenario)
+// — a load test that replays bit-identically. cmd/renameload is the CLI
+// (-scenario, -rate, -duration, -faults, -json; -runtime sim runs twice
+// and gates on bit-identical replay); reach for the harness when the
+// question is "how does the served system behave under this traffic
+// shape" and for go test -bench when it is "how fast is this code path".
+//
 // See examples/ for runnable scenarios (threadpool and ticketing serve
 // repeated waves from pools; chaos crash-injects native executions and
-// replays them) and BENCHMARKS.md for the benchmark harness, the scheduler
-// fast paths, the construction-cost table, the throughput suite, and the
-// per-experiment index.
+// replays them; loadtest runs a burst + crash-storm catalog scenario) and
+// BENCHMARKS.md for the benchmark harness, the scheduler fast paths, the
+// construction-cost table, the throughput suite, the workload harness
+// methodology, and the per-experiment index.
 package renaming

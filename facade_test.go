@@ -4,10 +4,12 @@
 package renaming_test
 
 import (
+	"bytes"
 	"sort"
 	"sync"
 	"testing"
 	"testing/quick"
+	"time"
 
 	renaming "repro"
 )
@@ -288,4 +290,52 @@ func tight(names []uint64) bool {
 		seen[n] = true
 	}
 	return true
+}
+
+// TestFacadeLoadScenario drives the workload harness through the facade:
+// a shrunken open-loop scenario against a fresh pool target, and the same
+// scenario on the simulator, which must replay bit-identically per seed.
+func TestFacadeLoadScenario(t *testing.T) {
+	s, ok := renaming.FindScenario("poisson")
+	if !ok {
+		t.Fatal("catalog scenario poisson missing")
+	}
+	s.Duration = 200 * time.Millisecond
+	s.Arrival.Rate = 2000
+	s.Workers = 2
+
+	r := renaming.RunScenario(s, renaming.NewLoadTarget(s.Seed))
+	if r.Verdict != "ok" {
+		t.Fatalf("native verdict %q\n%s", r.Verdict, r.JSON())
+	}
+	if r.Ops == 0 || r.Renames == 0 || r.Incs == 0 {
+		t.Fatalf("mix not exercised: %d ops (%d renames, %d incs, %d reads)",
+			r.Ops, r.Renames, r.Incs, r.Reads)
+	}
+
+	s.Ops = 60
+	s1 := renaming.RunScenarioSim(s, 11)
+	s2 := renaming.RunScenarioSim(s, 11)
+	if s1.Verdict != "ok" {
+		t.Fatalf("sim verdict %q", s1.Verdict)
+	}
+	if !bytes.Equal(s1.Stable().JSON(), s2.Stable().JSON()) {
+		t.Fatal("sim scenario did not replay bit-identically per seed")
+	}
+}
+
+// TestFacadeLoadCatalog pins the catalog surface: ≥8 named scenarios, all
+// resolvable, churn among them with a fault plan armed.
+func TestFacadeLoadCatalog(t *testing.T) {
+	cat := renaming.LoadCatalog()
+	if len(cat) < 8 {
+		t.Fatalf("catalog has %d scenarios, want ≥ 8", len(cat))
+	}
+	churn, ok := renaming.FindScenario("churn")
+	if !ok {
+		t.Fatal("catalog scenario churn missing")
+	}
+	if churn.Churn == nil || churn.Faults == nil || churn.Faults.Crashes() == 0 {
+		t.Fatal("churn scenario must vary k and arm a fault plan")
+	}
 }

@@ -1,0 +1,56 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/load"
+)
+
+// LoadTable is the workload-harness table behind renamebench -load: every
+// catalog scenario shrunk to one measurement window and run wall-clock
+// against a shared pool target on the native runtime. Like the throughput
+// table (T1) the absolute numbers are machine-dependent; the shapes — the
+// burst high-phase tail, churn's wave latency tracking k(t), the
+// closed-vs-open-loop gap — are what the table is for. The
+// machine-readable form is renameload -json (per scenario), which
+// scripts/bench.sh folds into BENCH_<n>.json.
+func LoadTable(window time.Duration) *Table {
+	if window <= 0 {
+		window = 2 * time.Second
+	}
+	t := &Table{
+		ID:    "T2",
+		Title: "workload harness (scenario catalog, native runtime)",
+		Claim: "the serving engine sustains the catalog's arrival processes — " +
+			"steady, Poisson, burst, ramp, churn with crash storms — with " +
+			"tails reported open-loop (latency from scheduled arrival, so " +
+			"coordinated omission cannot hide stalls)",
+		Cols: []string{"scenario", "arrival", "ops", "offered/s", "achieved/s",
+			"p50", "p99", "p999", "max", "crashes", "peak k"},
+		Notes: []string{
+			fmt.Sprintf("window %v per scenario; latency unit ns; '-' = closed loop (no offered rate)", window),
+			"open-loop latency includes queued-behind lateness; closed-loop rows are pure service time",
+		},
+	}
+	for _, s := range load.Catalog() {
+		s.Duration = window
+		tg := load.NewTarget(s.Seed)
+		r := load.Run(s, tg)
+		t.AddRow(s.Name, r.Arrival, d(r.Ops),
+			rateCell(r.OfferedOpsSec), rateCell(r.AchievedOpsSec),
+			d(r.Total.P50), d(r.Total.P99), d(r.Total.P999), d(r.Total.Max),
+			d(r.Crashes), d(r.KPeak))
+		if r.Verdict != "ok" {
+			t.Notes = append(t.Notes, fmt.Sprintf("%s: %s", s.Name, r.Verdict))
+		}
+	}
+	return t
+}
+
+func rateCell(v float64) string {
+	if v == 0 {
+		return "-"
+	}
+	return f1(v)
+}

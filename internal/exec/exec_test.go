@@ -465,3 +465,16 @@ func TestPauseOnEmptyPlan(t *testing.T) {
 
 // fakeRuntime hides the native runtime behind a third-party type.
 type fakeRuntime struct{ *shmem.Native }
+
+// TestFaultPlanCrashes pins the crash-entry accessor the workload harness
+// reports against.
+func TestFaultPlanCrashes(t *testing.T) {
+	plan := NewFaultPlan()
+	if plan.Crashes() != 0 {
+		t.Fatalf("empty plan reports %d crash entries", plan.Crashes())
+	}
+	plan.CrashAt(0, 5).CrashAt(3, 10).CrashAt(0, 7) // re-scheduling proc 0 is one entry
+	if got := plan.Crashes(); got != 2 {
+		t.Fatalf("plan reports %d crash entries, want 2", got)
+	}
+}

@@ -60,6 +60,11 @@ func (f *FaultPlan) CrashAt(proc int, step uint64) *FaultPlan {
 	return f
 }
 
+// Crashes returns the number of crash entries the plan schedules (the
+// number of processes it can kill per execution). Load reports use it to
+// state how much failure a scenario offered, next to how much fired.
+func (f *FaultPlan) Crashes() int { return len(f.crashAt) }
+
 // StallAt schedules a stall window for proc at the given completed-step
 // count: forSteps global steps on the simulator, wall wall-clock time on
 // the native runtime.

@@ -1,0 +1,283 @@
+package load
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"repro/internal/rng"
+)
+
+// Kind selects the arrival process of a Scenario.
+type Kind int
+
+const (
+	// Closed is the closed loop: each worker issues its next operation as
+	// soon as the previous one completes (plus Think), so the offered load
+	// self-limits to what the server sustains. Latency is service time only
+	// — a stalled server stalls the generator too, which is exactly the
+	// coordinated-omission blind spot the open-loop kinds avoid.
+	Closed Kind = iota
+	// Steady is open-loop with deterministic arrivals at Rate ops/sec.
+	Steady
+	// Poisson is open-loop with exponential inter-arrival gaps at mean
+	// Rate ops/sec (memoryless arrivals, the classic telephone-traffic
+	// model; bursty at short timescales even though the rate is flat).
+	Poisson
+	// Burst is open-loop square-wave load: Rate ops/sec for Period, then
+	// Peak ops/sec for Period, alternating. Phases split on the edges.
+	Burst
+	// Ramp is open-loop linearly increasing load from Rate to Peak over
+	// the scenario duration. Phases split the ramp into quarters.
+	Ramp
+)
+
+// String names the kind (scenario tables and JSON reports).
+func (k Kind) String() string {
+	switch k {
+	case Closed:
+		return "closed"
+	case Steady:
+		return "steady"
+	case Poisson:
+		return "poisson"
+	case Burst:
+		return "burst"
+	case Ramp:
+		return "ramp"
+	}
+	return fmt.Sprintf("kind(%d)", int(k))
+}
+
+// Arrival is the declarative arrival process of a Scenario.
+type Arrival struct {
+	Kind Kind `json:"kind"`
+	// Rate is the offered rate in ops/sec (open-loop kinds); for Burst it
+	// is the low phase, for Ramp the starting rate.
+	Rate float64 `json:"rate,omitempty"`
+	// Peak is the high rate: the Burst high phase, the Ramp end rate.
+	Peak float64 `json:"peak,omitempty"`
+	// Period is the Burst half-period (one low or high phase). 0 means an
+	// eighth of the scenario duration.
+	Period time.Duration `json:"period,omitempty"`
+	// Think is the Closed-loop pause between an operation's completion and
+	// the next issue.
+	Think time.Duration `json:"think,omitempty"`
+}
+
+// seg is one piece of the piecewise-linear rate profile: the total offered
+// rate runs linearly from r0 to r1 ops/sec over dur. Segments with the same
+// class share one phase of the report (all "low" bursts merge into one
+// histogram row), so the number of phases stays small and fixed no matter
+// how many burst cycles a scenario runs.
+type seg struct {
+	class  int
+	start  float64 // seconds from scenario start
+	dur    float64 // seconds
+	r0, r1 float64 // total ops/sec at segment start and end
+}
+
+// profile is the resolved rate profile of one scenario run: the segment
+// list plus the phase-class names.
+type profile struct {
+	segs    []seg
+	classes []string
+	total   float64 // seconds
+}
+
+// buildProfile resolves an Arrival over a concrete duration.
+func buildProfile(a Arrival, d time.Duration) *profile {
+	total := d.Seconds()
+	p := &profile{total: total}
+	switch a.Kind {
+	case Closed:
+		p.classes = []string{"closed"}
+		p.segs = []seg{{class: 0, start: 0, dur: total}}
+	case Steady, Poisson:
+		p.classes = []string{"steady"}
+		p.segs = []seg{{class: 0, start: 0, dur: total, r0: a.Rate, r1: a.Rate}}
+	case Burst:
+		p.classes = []string{"low", "high"}
+		period := a.Period.Seconds()
+		if period <= 0 {
+			period = total / 8
+		}
+		high := a.Peak
+		if high <= 0 {
+			high = 4 * a.Rate
+		}
+		at, cls := 0.0, 0
+		for at < total {
+			dur := math.Min(period, total-at)
+			r := a.Rate
+			if cls == 1 {
+				r = high
+			}
+			p.segs = append(p.segs, seg{class: cls, start: at, dur: dur, r0: r, r1: r})
+			at += dur
+			cls = 1 - cls
+		}
+	case Ramp:
+		p.classes = []string{"ramp-q1", "ramp-q2", "ramp-q3", "ramp-q4"}
+		end := a.Peak
+		if end <= 0 {
+			end = 4 * a.Rate
+		}
+		for i := 0; i < 4; i++ {
+			f0, f1 := float64(i)/4, float64(i+1)/4
+			p.segs = append(p.segs, seg{
+				class: i,
+				start: f0 * total,
+				dur:   total / 4,
+				r0:    a.Rate + f0*(end-a.Rate),
+				r1:    a.Rate + f1*(end-a.Rate),
+			})
+		}
+	default:
+		panic(fmt.Sprintf("load: unknown arrival kind %d", int(a.Kind)))
+	}
+	return p
+}
+
+// classAt returns the phase class at offset t seconds from scenario start.
+func (p *profile) classAt(t float64) int {
+	for i := range p.segs {
+		s := &p.segs[i]
+		if t < s.start+s.dur {
+			return s.class
+		}
+	}
+	return p.segs[len(p.segs)-1].class
+}
+
+// offered returns, per phase class, the expected operation count and the
+// wall time the class spans, both clipped to the first elapsed seconds of
+// the profile (an op budget can end a run before the configured duration;
+// rates computed over the clipped window stay consistent with the
+// top-level ops/elapsed rate instead of being diluted by time never run).
+func (p *profile) offered(elapsed float64) (ops []float64, secs []float64) {
+	ops = make([]float64, len(p.classes))
+	secs = make([]float64, len(p.classes))
+	for _, s := range p.segs {
+		d := s.dur
+		if s.start+d > elapsed {
+			d = elapsed - s.start
+		}
+		if d <= 0 {
+			continue
+		}
+		r1 := s.r0 + (s.r1-s.r0)*d/s.dur
+		ops[s.class] += (s.r0 + r1) / 2 * d
+		secs[s.class] += d
+	}
+	return ops, secs
+}
+
+// sched generates one worker's share of the open-loop arrival schedule.
+//
+// Every worker runs an independent thinned copy of the profile at 1/W of
+// the total rate (the superposition of W independent Poisson processes at
+// rate r/W is a Poisson process at rate r; for deterministic gaps the
+// interleaving is a W-phase round robin). Arrival times come from
+// inverting the cumulative rate: arrival i of a worker happens at the time
+// t where ∫₀ᵗ r(s)/W ds first reaches Xᵢ, with Xᵢ₊₁ = Xᵢ + 1 for
+// deterministic arrivals and Xᵢ₊₁ = Xᵢ + Exp(1) for Poisson. One formula
+// covers steady, burst, and ramp shapes, and everything is a handful of
+// float operations per arrival — no allocation, no shared state.
+type sched struct {
+	segs    []wseg
+	i       int
+	x       float64 // cumulative work units consumed
+	poisson bool
+	rng     *rng.SplitMix64
+}
+
+// wseg is a profile segment scaled to one worker, with the cumulative work
+// available at its start precomputed.
+type wseg struct {
+	class  int
+	start  float64
+	dur    float64
+	r0, r1 float64 // worker-level rates (total / W)
+	x0     float64 // cumulative worker-level work at segment start
+}
+
+// newSched builds worker w's schedule over p (W workers total). gen must be
+// the worker's private stream.
+func newSched(p *profile, w, workers int, poisson bool, gen *rng.SplitMix64) *sched {
+	sc := &sched{poisson: poisson, rng: gen}
+	x := 0.0
+	for _, s := range p.segs {
+		ws := wseg{
+			class: s.class,
+			start: s.start,
+			dur:   s.dur,
+			r0:    s.r0 / float64(workers),
+			r1:    s.r1 / float64(workers),
+			x0:    x,
+		}
+		x += (ws.r0 + ws.r1) / 2 * ws.dur
+		sc.segs = append(sc.segs, ws)
+	}
+	// The first arrival fires at the worker's starting work offset (next
+	// draws the gap *after* the arrival it returns): deterministic workers
+	// start phase-shifted by w/W of a gap so they interleave instead of
+	// firing in lockstep, Poisson workers at a fresh Exp(1) gap from zero,
+	// as a Poisson process's first arrival is. Either way arrival counts
+	// integrate the full profile — no dropped first op per worker.
+	if poisson {
+		u := float64(gen.Next()>>11) / (1 << 53)
+		sc.x = -math.Log1p(-u)
+	} else {
+		sc.x = float64(w) / float64(workers)
+	}
+	return sc
+}
+
+// next returns the offset (seconds from scenario start) and phase class of
+// the worker's next arrival; ok is false once the profile is exhausted.
+// It allocates nothing.
+func (sc *sched) next() (t float64, class int, ok bool) {
+	x := sc.x
+	// Draw the gap to the arrival after this one now, so the arrival being
+	// returned fires at the current offset (the first one at the worker's
+	// starting phase, not one gap past it).
+	gap := 1.0
+	if sc.poisson {
+		// Exp(1) via inverse transform; 53 uniform bits, Log1p for accuracy
+		// near u=0.
+		u := float64(sc.rng.Next()>>11) / (1 << 53)
+		gap = -math.Log1p(-u)
+	}
+	sc.x = x + gap
+	for sc.i < len(sc.segs) {
+		s := &sc.segs[sc.i]
+		xEnd := s.x0 + (s.r0+s.r1)/2*s.dur
+		if x < xEnd {
+			return s.start + invertSeg(s, x-s.x0), s.class, true
+		}
+		sc.i++
+	}
+	return 0, 0, false
+}
+
+// invertSeg returns the offset u into s at which the segment has produced
+// dx work units: solve r0·u + (r1−r0)·u²/(2·dur) = dx for u.
+func invertSeg(s *wseg, dx float64) float64 {
+	a := (s.r1 - s.r0) / (2 * s.dur)
+	if math.Abs(a) < 1e-12 {
+		if s.r0 <= 0 {
+			return s.dur
+		}
+		return dx / s.r0
+	}
+	// Quadratic a·u² + r0·u − dx = 0; the positive root.
+	u := (-s.r0 + math.Sqrt(s.r0*s.r0+4*a*dx)) / (2 * a)
+	if u < 0 {
+		u = 0
+	}
+	if u > s.dur {
+		u = s.dur
+	}
+	return u
+}

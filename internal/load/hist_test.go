@@ -1,0 +1,144 @@
+package load
+
+import (
+	"sort"
+	"sync"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+func absDiff(a, b uint64) uint64 {
+	if a > b {
+		return a - b
+	}
+	return b - a
+}
+
+// sample distributions for the quantile-accuracy test: uniform, heavy
+// tail, and tiny exact-range values.
+func sampleDists(seed uint64, n int) map[string][]uint64 {
+	dists := map[string][]uint64{}
+	r := rng.New(seed)
+	uni := make([]uint64, n)
+	for i := range uni {
+		uni[i] = r.Uint64n(1_000_000)
+	}
+	dists["uniform"] = uni
+	heavy := make([]uint64, n)
+	for i := range heavy {
+		v := r.Uint64n(1 << 20)
+		heavy[i] = v * (1 + r.Uint64n(64)) // long multiplicative tail
+	}
+	dists["heavy"] = heavy
+	small := make([]uint64, n)
+	for i := range small {
+		small[i] = r.Uint64n(32) // the exact first-row range
+	}
+	dists["small"] = small
+	return dists
+}
+
+// TestHistQuantileAccuracy pins the bucketing error bound: every reported
+// quantile is within one bucket's relative error (≤ 1/32 of the value) of
+// the exact order statistic of the same rank.
+func TestHistQuantileAccuracy(t *testing.T) {
+	for name, vals := range sampleDists(11, 20000) {
+		var h Hist
+		for _, v := range vals {
+			h.Record(v)
+		}
+		sorted := append([]uint64(nil), vals...)
+		sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+		for _, q := range []float64{0, 0.5, 0.9, 0.99, 0.999} {
+			rank := int(q * float64(len(sorted)))
+			if rank >= len(sorted) {
+				rank = len(sorted) - 1
+			}
+			exact := sorted[rank]
+			got := h.Quantile(q)
+			tol := exact/32 + 1
+			if absDiff(got, exact) > tol {
+				t.Errorf("%s: q=%v: hist %d, exact %d (tolerance %d)", name, q, got, exact, tol)
+			}
+		}
+		if h.Quantile(1) != sorted[len(sorted)-1] {
+			t.Errorf("%s: Quantile(1) = %d, want exact max %d", name, h.Quantile(1), sorted[len(sorted)-1])
+		}
+		if h.Count() != uint64(len(vals)) {
+			t.Errorf("%s: count %d, want %d", name, h.Count(), len(vals))
+		}
+		var sum uint64
+		for _, v := range vals {
+			sum += v
+		}
+		if h.Sum() != sum {
+			t.Errorf("%s: sum %d, want %d", name, h.Sum(), sum)
+		}
+	}
+}
+
+// TestHistBucketRepresentative checks that every value's bucket
+// representative stays within one bucket width of the value itself.
+func TestHistBucketRepresentative(t *testing.T) {
+	r := rng.New(3)
+	for i := 0; i < 200000; i++ {
+		v := r.Next() >> uint(r.Uint64n(60))
+		maj, sub := bucket(v)
+		rep := bucketValue(maj, sub)
+		if absDiff(rep, v) > v/32+1 {
+			t.Fatalf("v=%d: representative %d outside tolerance %d (bucket %d/%d)", v, rep, v/32+1, maj, sub)
+		}
+	}
+}
+
+// TestHistMergeConcurrent is the sharded-merge pattern under -race: each
+// worker records into its private shard concurrently; the post-join merge
+// must equal a single histogram fed the same samples.
+func TestHistMergeConcurrent(t *testing.T) {
+	const workers = 8
+	const perWorker = 50000
+	shards := make([]Hist, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			r := rng.Derive(42, uint64(w))
+			for i := 0; i < perWorker; i++ {
+				shards[w].Record(r.Uint64n(1 << 30))
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	var merged Hist
+	for w := range shards {
+		merged.Merge(&shards[w])
+	}
+
+	var ref Hist
+	for w := 0; w < workers; w++ {
+		r := rng.Derive(42, uint64(w))
+		for i := 0; i < perWorker; i++ {
+			ref.Record(r.Uint64n(1 << 30))
+		}
+	}
+
+	if merged != ref {
+		t.Fatalf("concurrent sharded merge diverged from the sequential reference (count %d vs %d, max %d vs %d)",
+			merged.Count(), ref.Count(), merged.Max(), ref.Max())
+	}
+	if merged.Count() != workers*perWorker {
+		t.Fatalf("merged count %d, want %d", merged.Count(), workers*perWorker)
+	}
+}
+
+// TestHistRecordAllocFree pins the recording path at zero allocations.
+func TestHistRecordAllocFree(t *testing.T) {
+	var h Hist
+	r := rng.New(9)
+	if n := testing.AllocsPerRun(10000, func() { h.Record(r.Next() >> 20) }); n != 0 {
+		t.Fatalf("Hist.Record allocates %v per op, want 0", n)
+	}
+}

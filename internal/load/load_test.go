@@ -1,0 +1,188 @@
+package load
+
+import (
+	"encoding/json"
+	"testing"
+	"time"
+
+	"repro/internal/rng"
+)
+
+// shortened returns catalog scenario name shrunk for test budgets.
+func shortened(t *testing.T, name string, d time.Duration) Scenario {
+	t.Helper()
+	s, ok := Find(name)
+	if !ok {
+		t.Fatalf("catalog scenario %q missing", name)
+	}
+	s.Duration = d
+	return s
+}
+
+func TestCatalogNamesUniqueAndResolvable(t *testing.T) {
+	seen := map[string]bool{}
+	for _, s := range Catalog() {
+		if s.Name == "" || seen[s.Name] {
+			t.Fatalf("catalog scenario name %q empty or duplicated", s.Name)
+		}
+		seen[s.Name] = true
+		if _, ok := Find(s.Name); !ok {
+			t.Fatalf("Find(%q) failed", s.Name)
+		}
+		if s.Mix.total() == 0 {
+			t.Fatalf("scenario %q has an empty mix", s.Name)
+		}
+	}
+	if len(seen) < 8 {
+		t.Fatalf("catalog has %d scenarios, want ≥ 8", len(seen))
+	}
+	if _, ok := Find("no-such-scenario"); ok {
+		t.Fatal("Find matched a nonexistent scenario")
+	}
+}
+
+// TestRunNativeSteady smoke-runs the open-loop steady scenario against a
+// real pool target and checks the report invariants.
+func TestRunNativeSteady(t *testing.T) {
+	s := shortened(t, "steady", 300*time.Millisecond)
+	s.Arrival.Rate = 2000
+	s.Workers = 2
+	r := Run(s, nil)
+	if r.Verdict != "ok" {
+		t.Fatalf("verdict %q, want ok\n%s", r.Verdict, r.JSON())
+	}
+	if r.Ops == 0 || r.Renames != r.Ops {
+		t.Fatalf("ops=%d renames=%d, want all-rename traffic", r.Ops, r.Renames)
+	}
+	if r.OfferedOpsSec < 1900 || r.OfferedOpsSec > 2100 {
+		t.Fatalf("offered rate %v, want ≈2000", r.OfferedOpsSec)
+	}
+	if r.Total.P50 > r.Total.P999 || r.Total.Max == 0 {
+		t.Fatalf("broken quantiles: %+v", r.Total)
+	}
+	var back Report
+	if err := json.Unmarshal(r.JSON(), &back); err != nil {
+		t.Fatalf("report JSON does not round-trip: %v", err)
+	}
+}
+
+// TestRunNativeChurnWithFaults runs the churn scenario — waves of
+// time-varying width with a crash plan armed — on the native runtime.
+func TestRunNativeChurnWithFaults(t *testing.T) {
+	s := shortened(t, "churn", 500*time.Millisecond)
+	s.Arrival.Rate = 120 // more waves into the short window
+	r := Run(s, nil)
+	if r.Verdict != "ok" {
+		t.Fatalf("verdict %q, want ok\n%s", r.Verdict, r.JSON())
+	}
+	if r.Waves == 0 || r.Waves != r.Ops {
+		t.Fatalf("waves=%d ops=%d, want all-wave traffic", r.Waves, r.Ops)
+	}
+	if r.FaultProcs == 0 {
+		t.Fatal("churn scenario should arm a fault plan")
+	}
+	if r.Crashes == 0 {
+		t.Fatal("no plan crashes fired across the churn waves")
+	}
+	if r.KPeak < 2 {
+		t.Fatalf("sampled live contention peak %d, want ≥ 2", r.KPeak)
+	}
+}
+
+// TestRunNativeClosedLoop exercises the closed-loop generator and the
+// counter mix.
+func TestRunNativeClosedLoop(t *testing.T) {
+	s := shortened(t, "readheavy", 200*time.Millisecond)
+	s.Workers = 2
+	r := Run(s, nil)
+	if r.Verdict != "ok" {
+		t.Fatalf("verdict %q, want ok\n%s", r.Verdict, r.JSON())
+	}
+	if r.Incs+r.Reads != r.Ops || r.Reads == 0 {
+		t.Fatalf("inc/read mix broken: incs=%d reads=%d ops=%d", r.Incs, r.Reads, r.Ops)
+	}
+	if r.OfferedOpsSec != 0 {
+		t.Fatalf("closed loop reports an offered rate (%v), should not", r.OfferedOpsSec)
+	}
+}
+
+// TestRunOpBudget pins the op-budget bound.
+func TestRunOpBudget(t *testing.T) {
+	s := shortened(t, "steady", 10*time.Second)
+	s.Arrival.Rate = 50000
+	s.Workers = 2
+	s.Ops = 500
+	r := Run(s, nil)
+	if r.Ops == 0 || r.Ops > 520 {
+		t.Fatalf("op budget 500 produced %d ops", r.Ops)
+	}
+	// Rates are computed over the window actually run, so a budget-ended
+	// run's phase rate must agree with the top-level ops/elapsed rate
+	// instead of being diluted by the 10s that never ran.
+	if ph := r.Phases[0]; ph.AchievedOpsSec < r.AchievedOpsSec/2 || ph.AchievedOpsSec > r.AchievedOpsSec*2 {
+		t.Fatalf("phase rate %.0f inconsistent with run rate %.0f after early budget end",
+			ph.AchievedOpsSec, r.AchievedOpsSec)
+	}
+}
+
+// TestMeasurePathAllocationFree pins the whole per-operation measurement
+// path — arrival scheduling, op picking, histogram recording, lateness —
+// at zero heap allocations.
+func TestMeasurePathAllocationFree(t *testing.T) {
+	prof := buildProfile(Arrival{Kind: Poisson, Rate: 1e9}, time.Hour)
+	gaps := rng.Derived(1, 1)
+	w := &worker{gen: rng.Derived(1, 0)}
+	w.hists = make([]Hist, len(prof.classes))
+	w.sc = newSched(prof, 0, 4, true, &gaps)
+	mix := Mix{Rename: 6, Inc: 3, Read: 1}
+	if n := testing.AllocsPerRun(5000, func() {
+		_, class, ok := w.sc.next()
+		if !ok {
+			t.Fatal("schedule exhausted")
+		}
+		kind := mix.pick(&w.gen)
+		w.observe(class, 1234+uint64(kind), 7)
+	}); n != 0 {
+		t.Fatalf("measurement path allocates %v per op, want 0", n)
+	}
+}
+
+// BenchmarkMeasurePath is the ReportAllocs pin of the measurement path (0
+// allocs/op must hold; the wall number is the fixed per-op overhead the
+// harness adds on top of every operation it measures).
+func BenchmarkMeasurePath(b *testing.B) {
+	prof := buildProfile(Arrival{Kind: Burst, Rate: 1e9, Peak: 4e9, Period: time.Minute}, 24*time.Hour)
+	gaps := rng.Derived(1, 1)
+	w := &worker{gen: rng.Derived(1, 0)}
+	w.hists = make([]Hist, len(prof.classes))
+	w.sc = newSched(prof, 0, 8, true, &gaps)
+	mix := Mix{Rename: 6, Inc: 3, Read: 1, Wave: 1}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, class, ok := w.sc.next()
+		if !ok {
+			b.Fatal("schedule exhausted")
+		}
+		kind := mix.pick(&w.gen)
+		w.observe(class, uint64(i%1_000_000), uint64(i&1023))
+		_ = kind
+	}
+}
+
+// BenchmarkScenarioSteadyNative runs a whole miniature open-loop scenario
+// per iteration set — the end-to-end smoke the bench-smoke CI leg executes
+// at -benchtime 1x.
+func BenchmarkScenarioSteadyNative(b *testing.B) {
+	tg := NewTarget(1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s, _ := Find("steady")
+		s.Duration = 50 * time.Millisecond
+		s.Arrival.Rate = 2000
+		s.Workers = 2
+		if r := Run(s, tg); r.Verdict != "ok" {
+			b.Fatalf("verdict %q", r.Verdict)
+		}
+	}
+}

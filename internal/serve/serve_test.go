@@ -37,6 +37,41 @@ func TestPoolServesFreshInstances(t *testing.T) {
 	}
 }
 
+// TestPoolInFlightGauge pins the live checkout gauge: it tracks
+// Get/Put pairs exactly (including the overflow path), and Do leaves it at
+// zero.
+func TestPoolInFlightGauge(t *testing.T) {
+	pool := newRenamerPool(Options{Shards: 1, PerShard: 1})
+	if g := pool.InFlight(); g != 0 {
+		t.Fatalf("fresh pool gauge %d, want 0", g)
+	}
+	a := pool.Get()
+	if g := pool.InFlight(); g != 1 {
+		t.Fatalf("gauge after one Get: %d, want 1", g)
+	}
+	b := pool.Get() // shard is dry: overflow instantiation, still leased
+	if g := pool.InFlight(); g != 2 {
+		t.Fatalf("gauge after overflow Get: %d, want 2", g)
+	}
+	if st := pool.Stats(); st.InFlight != 2 {
+		t.Fatalf("Stats.InFlight %d, want 2", st.InFlight)
+	}
+	a.Put()
+	b.Put()
+	if g := pool.InFlight(); g != 0 {
+		t.Fatalf("gauge after both Puts: %d, want 0", g)
+	}
+	pool.Do(func(p shmem.Proc, sa *core.StrongAdaptive) {
+		if g := pool.InFlight(); g != 1 {
+			t.Fatalf("gauge inside Do: %d, want 1", g)
+		}
+		sa.Rename(p, 1)
+	})
+	if g := pool.InFlight(); g != 0 {
+		t.Fatalf("gauge after Do: %d, want 0", g)
+	}
+}
+
 // TestPoolStress hammers one pool from N goroutines (checkout → run → put),
 // exercising the lock-free freelists, shard spreading, and overflow
 // instantiation under -race.

@@ -1,0 +1,95 @@
+package renaming
+
+import (
+	"repro/internal/load"
+)
+
+// This file is the facade over internal/load, the workload harness:
+// declarative load scenarios (open- and closed-loop arrival processes, op
+// mixes, churn, crash storms) generated against the serving pools and
+// measured with allocation-free log-bucketed latency histograms. See
+// doc.go ("Load generation") for the model and BENCHMARKS.md ("The
+// workload harness") for methodology and measurements; cmd/renameload is
+// the CLI front end.
+
+type (
+	// Scenario is one declarative workload: an arrival process, an op mix,
+	// a duration/op budget, optional churn (time-varying wave width — the
+	// adaptive-contention regime) and an optional FaultPlan armed on every
+	// execution wave.
+	Scenario = load.Scenario
+	// ArrivalSpec is a Scenario's arrival process (kind, rates, period,
+	// think time).
+	ArrivalSpec = load.Arrival
+	// OpMix is a Scenario's operation mix, as integer weights over rename,
+	// counter inc, counter read, and k-process execution waves.
+	OpMix = load.Mix
+	// ChurnSpec varies a scenario's wave width between MinK and MaxK over
+	// time, so the live contention k(t) the algorithms see keeps changing.
+	ChurnSpec = load.Churn
+	// LoadReport is a scenario run's result: per-phase latency quantiles,
+	// achieved-vs-offered rates, live-contention samples, and a verdict;
+	// serializable to JSON.
+	LoadReport = load.Report
+	// LoadPhase is one phase row of a LoadReport.
+	LoadPhase = load.PhaseReport
+	// LoadTarget is the served system a scenario runs against: the rename
+	// and counter pools plus the instantiation recipes the simulator
+	// runner uses.
+	LoadTarget = load.Target
+	// LatencyHist is the allocation-free log-bucketed histogram behind the
+	// harness's latency capture (exported for custom drivers).
+	LatencyHist = load.Hist
+)
+
+// Arrival kinds of a Scenario.
+const (
+	// ArrivalClosed is the closed loop: each worker issues its next op when
+	// the previous completes (plus think time); load self-limits.
+	ArrivalClosed = load.Closed
+	// ArrivalSteady is open-loop with deterministic arrivals at Rate.
+	ArrivalSteady = load.Steady
+	// ArrivalPoisson is open-loop with exponential inter-arrival gaps.
+	ArrivalPoisson = load.Poisson
+	// ArrivalBurst is open-loop square-wave load (Rate low, Peak high).
+	ArrivalBurst = load.Burst
+	// ArrivalRamp is open-loop linearly increasing load (Rate to Peak).
+	ArrivalRamp = load.Ramp
+)
+
+// LoadCatalog returns the curated scenario set: steady, poisson, burst,
+// ramp, churn (time-varying k with a crash plan armed), crashstorm, waves,
+// readheavy, and closed. Every entry runs as-is under cmd/renameload.
+func LoadCatalog() []Scenario { return load.Catalog() }
+
+// FindScenario returns the catalog scenario with the given name
+// (case-insensitive).
+func FindScenario(name string) (Scenario, bool) { return load.Find(name) }
+
+// NewLoadTarget builds the default served system: sharded pools of strong
+// adaptive renamers and monotone-consistent counters with hardware
+// test-and-set, seeded from seed.
+func NewLoadTarget(seed uint64) *LoadTarget { return load.NewTarget(seed) }
+
+// RunScenario executes a scenario on the native runtime against tg (nil
+// builds a fresh NewLoadTarget(s.Seed)): open-loop kinds issue operations
+// at scheduled arrival times and measure latency from the schedule, so
+// server stalls queue arrivals behind them and surface in the tail
+// (coordinated omission cannot hide them); closed-loop kinds measure pure
+// service time. The report carries per-phase p50/p90/p99/p999/max,
+// achieved-vs-offered rates, and sampled live contention.
+func RunScenario(s Scenario, tg *LoadTarget) *LoadReport { return load.Run(s, tg) }
+
+// RunScenarioSim executes a scenario on the deterministic simulator:
+// latency becomes step complexity, and every report field except the
+// elapsed wall time is a pure function of (seed, scenario) — the same
+// scenario replays bit-identically per seed.
+func RunScenarioSim(s Scenario, seed uint64) *LoadReport { return load.RunSim(s, seed) }
+
+// SimReplayMatches runs s twice on the simulator with the same seed and
+// reports whether the runs are bit-identical modulo the elapsed-wall-time
+// field — the determinism gate behind renameload -runtime sim. The second
+// report is returned, its verdict annotated on mismatch.
+func SimReplayMatches(s Scenario, seed uint64) (*LoadReport, bool) {
+	return load.SimReplayMatches(s, seed)
+}

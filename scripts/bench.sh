@@ -9,9 +9,12 @@
 # BENCH_4.json is the record of the unified execution layer PR — the
 # fault-hook overhead suite: NativeRenaming/NativeCounter and the pool Do
 # throughput with the hook disarmed (must sit within noise of BENCH_3),
-# plus the armed FaultArmed/Recorded variants).
+# plus the armed FaultArmed/Recorded variants; BENCH_5.json is the record
+# of the workload-harness PR — the BenchmarkScenario/* rows: open-loop
+# achieved-vs-offered rate and latency quantiles for the steady, burst,
+# and churn catalog scenarios).
 #
-# Two passes feed one results array:
+# Three passes feed one results array:
 #
 #   1. the serial pass: execution benchmarks (reset-many steady state),
 #      FreshBuild/Instantiate/CompileCold (the two-phase split);
@@ -19,7 +22,10 @@
 #      (rows gain the standard -<cpus> name suffix). The -cpu 1 rows are
 #      the single-goroutine baseline of the scaling comparison; PoolX vs
 #      UnpooledX/SharedX at equal -cpu isolates what the serving engine
-#      buys at fixed parallelism.
+#      buys at fixed parallelism;
+#   3. the scenario pass: cmd/renameload runs each SCENARIOS catalog entry
+#      wall-clock (renameload -gobench emits one benchmark-format row per
+#      scenario: ops, offered/achieved rate, p50/p99/p999, crashes).
 #
 # Usage:
 #   scripts/bench.sh                 # next free BENCH_<n>.json, 2s per bench
@@ -27,6 +33,9 @@
 #   BENCH='BenchmarkStrongAdaptive$' scripts/bench.sh   # serial subset
 #   CPUS=1,2,4,8 scripts/bench.sh    # parallel-pass GOMAXPROCS sweep
 #   CPUS=none scripts/bench.sh       # skip the parallel pass
+#   SCENARIOS=churn scripts/bench.sh # scenario-pass subset
+#   SCENARIOS=none scripts/bench.sh  # skip the scenario pass
+#   SCENDUR=5s scripts/bench.sh      # longer scenario windows
 #
 # The experiment tables (renamebench) have their own machine-readable
 # output: go run ./cmd/renamebench -json; the serving-throughput table is
@@ -38,6 +47,8 @@ benchtime="${BENCHTIME:-2s}"
 pattern="${BENCH:-BenchmarkStrongAdaptive\$|BenchmarkStrongAdaptiveHardware|BenchmarkNativeRenaming\$|BenchmarkNativeRenamingFaultArmed|BenchmarkNativeRenamingRecorded|BenchmarkNativeCounter|BenchmarkFreshBuild|BenchmarkInstantiate|BenchmarkCompileCold|BenchmarkBitBatching\$}"
 parpattern="${PARBENCH:-Throughput}"
 cpus="${CPUS:-1,2,4}"
+scenarios="${SCENARIOS:-steady,burst,churn}"
+scendur="${SCENDUR:-3s}"
 
 n=1
 while [ -e "BENCH_${n}.json" ]; do n=$((n + 1)); done
@@ -51,6 +62,15 @@ if [ "$cpus" != "none" ]; then
 	printf '%s\n' "$parraw" >&2
 	raw="$raw
 $parraw"
+fi
+
+if [ "$scenarios" != "none" ]; then
+	for scen in $(printf '%s' "$scenarios" | tr ',' ' '); do
+		scenrow=$(go run ./cmd/renameload -scenario "$scen" -duration "$scendur" -gobench)
+		printf '%s\n' "$scenrow" >&2
+		raw="$raw
+$scenrow"
+	done
 fi
 
 {
