@@ -172,6 +172,45 @@
 // question is "how does the served system behave under this traffic
 // shape" and for go test -bench when it is "how fast is this code path".
 //
+// # Phased counting
+//
+// The monotone counter's AAC spine is linearizable but every Inc walks a
+// shared tree — at high contention the walk is the bottleneck. The phased
+// counter (NewPhasedCounter / NewPhasedCounterPool) makes the hot path
+// contention-adaptive by running in one of two phases over the same
+// authoritative spine:
+//
+//   - Joined: every Inc delegates straight to the spine. Overhead over the
+//     bare counter is one atomic mode load — within noise in the serial A/B
+//     benchmarks.
+//   - Split: each serving lane absorbs Incs into its own cache-line-padded
+//     cell with a plain atomic add (lock-free, allocation-free), and merges
+//     the cell's cumulative count into the spine's CAS-max merge slots
+//     whenever it crosses an epoch boundary — cooperatively on the
+//     incrementing lane's own step, or from a dedicated reconciler
+//     goroutine (WithReconcileEvery).
+//
+// Reads stay monotone-consistent in both phases and across transitions:
+// Read sums the spine's joined component with the cumulative cells (cells
+// are never drained, and merge slots are idempotent CAS-max registers, so
+// a crash anywhere in the merge window loses nothing and double-counts
+// nothing — CheckCounterTrace pins this across crash storms on both
+// runtimes). ReadSpine is the bounded-staleness fast read: at most one
+// epoch per cell behind. ReadStrict forces a full reconciliation first and
+// returns the exact value.
+//
+// NewPhasedCounterPool serves one shared phased counter to any number of
+// goroutines and drives the phase automatically: lanes export live
+// contention signals (failed lease CASes, failed spine CASes, in-flight
+// occupancy), and a hysteretic controller — enter/exit thresholds a 5×
+// band apart plus a settle debounce — flips to split when the joined spine
+// thrashes and rejoins (reconciling first) when traffic calms, so bursty
+// workloads get split-phase throughput (≥3× the shared spine at high
+// contention; see BENCHMARKS.md "Adaptive phase reconciliation") without
+// giving up joined-mode reads in the quiet phases. The "phased" and
+// "phased-churn" catalog scenarios run this machinery under bursty load
+// and under churn with crashes landing mid-reconciliation.
+//
 // See examples/ for runnable scenarios (threadpool and ticketing serve
 // repeated waves from pools; chaos crash-injects native executions and
 // replays them; loadtest runs a burst + crash-storm catalog scenario) and

@@ -339,3 +339,57 @@ func TestFacadeLoadCatalog(t *testing.T) {
 		t.Fatal("churn scenario must vary k and arm a fault plan")
 	}
 }
+
+// TestFacadePhasedPool pins the phased-counting facade: the served pool
+// counts exactly under concurrency in every policy, and the stats surface
+// reports the phase machinery.
+func TestFacadePhasedPool(t *testing.T) {
+	pool := renaming.NewPhasedCounterPool(
+		renaming.WithLanes(4), renaming.WithEpoch(8),
+		renaming.WithPhasedSeed(42), renaming.WithPhasePolicy(renaming.PhasePinSplit))
+	const g, per = 8, 2000
+	var wg sync.WaitGroup
+	for i := 0; i < g; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < per; j++ {
+				pool.Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if v := pool.ReadStrict(); v != g*per {
+		t.Fatalf("ReadStrict = %d, want %d", v, g*per)
+	}
+	st := pool.Stats()
+	if st.Mode != renaming.PhaseSplit || st.Merges == 0 || st.Ops < g*per {
+		t.Fatalf("stats off: %+v", st)
+	}
+}
+
+// TestFacadePhasedCounterBare pins the unmanaged constructor on the sim
+// runtime: mode transitions mid-execution keep the count exact.
+func TestFacadePhasedCounterBare(t *testing.T) {
+	rt := renaming.NewSim(5, renaming.RandomSchedule(5))
+	c := renaming.NewPhasedCounter(rt, 4, 2)
+	const k, each = 4, 6
+	rt.Run(k, func(p renaming.Proc) {
+		if p.ID() == 0 {
+			c.SetMode(renaming.PhaseSplit)
+		}
+		for i := 0; i < each; i++ {
+			c.Inc(p)
+		}
+		if p.ID() == 0 {
+			c.SetMode(renaming.PhaseJoined)
+		}
+		c.Inc(p)
+	})
+	rt.Reset(6, renaming.RandomSchedule(6))
+	var final uint64
+	rt.Run(1, func(p renaming.Proc) { final = c.ReadStrict(p) })
+	if want := uint64(k * (each + 1)); final != want {
+		t.Fatalf("final = %d, want %d", final, want)
+	}
+}

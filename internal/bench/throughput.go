@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/phase"
 	"repro/internal/serve"
 	"repro/internal/shmem"
 	"repro/internal/sortnet"
@@ -39,6 +40,7 @@ func Throughput(maxG int, window time.Duration) *Table {
 		Notes: []string{
 			fmt.Sprintf("wall-clock on GOMAXPROCS=%d; window %v per cell", runtime.GOMAXPROCS(0), window),
 			"rename = one solo Rename per checkout on a fresh graph; counter = one Inc+Read per checkout",
+			"counter/phased = one Inc+Read on the shared contention-adaptive phased counter (shards column = serving lanes)",
 		},
 	}
 
@@ -70,6 +72,13 @@ func Throughput(maxG int, window time.Duration) *Table {
 					c.Inc(p)
 					c.Read(p)
 				})
+			})
+		}},
+		{"counter/phased", func(shards, g int) (uint64, time.Duration) {
+			pool := phase.NewPool(phase.Options{Lanes: shards})
+			return hammer(g, window, func(_ int) {
+				pool.Inc()
+				pool.Read()
 			})
 		}},
 	}

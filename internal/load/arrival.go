@@ -150,6 +150,37 @@ func (p *profile) classAt(t float64) int {
 	return p.segs[len(p.segs)-1].class
 }
 
+// rateAt returns the total offered rate at offset t seconds — the live
+// signal's deterministic analogue, which the simulator runner uses to drive
+// the phased counter's mode (there are no real contention gauges on a
+// serial machine).
+func (p *profile) rateAt(t float64) float64 {
+	for i := range p.segs {
+		s := &p.segs[i]
+		if t < s.start+s.dur {
+			if s.dur <= 0 {
+				return s.r0
+			}
+			return s.r0 + (s.r1-s.r0)*(t-s.start)/s.dur
+		}
+	}
+	return p.segs[len(p.segs)-1].r1
+}
+
+// rateBounds returns the profile's minimum and maximum offered rates.
+func (p *profile) rateBounds() (lo, hi float64) {
+	lo = math.Inf(1)
+	for i := range p.segs {
+		s := &p.segs[i]
+		lo = math.Min(lo, math.Min(s.r0, s.r1))
+		hi = math.Max(hi, math.Max(s.r0, s.r1))
+	}
+	if math.IsInf(lo, 1) {
+		lo = 0
+	}
+	return lo, hi
+}
+
 // offered returns, per phase class, the expected operation count and the
 // wall time the class spans, both clipped to the first elapsed seconds of
 // the profile (an op budget can end a run before the configured duration;

@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/exec"
+	"repro/internal/phase"
 	"repro/internal/rng"
 	"repro/internal/serve"
 	"repro/internal/shmem"
@@ -22,11 +23,32 @@ import (
 type Target struct {
 	Rename  *serve.Pool[*core.StrongAdaptive]
 	Counter *serve.Pool[*core.MonotoneCounter]
+	// Phased serves the shared contention-adaptive phased counter (Phased
+	// scenarios route Inc/Read here; the pool's auto controller drives the
+	// split/joined mode off live contention).
+	Phased *phase.Pool
+	// PhasedWave pools per-instance phased counters for Phased Wave ops:
+	// each wave checks one out and runs a k-process execution against it
+	// with the scenario's FaultPlan armed, so crashes land inside merge
+	// windows on a private instance (the shared Phased counter's lanes stay
+	// single-writer).
+	PhasedWave *serve.Pool[*phase.Counter]
 	// NewRename and NewCounter instantiate the same object shapes on an
 	// arbitrary Mem — the simulator runner uses them (pools are native).
 	NewRename  func(mem shmem.Mem) *core.StrongAdaptive
 	NewCounter func(mem shmem.Mem) *core.MonotoneCounter
+	// NewPhased instantiates the wave-shaped phased counter on an arbitrary
+	// Mem (the simulator runner's accumulating counter).
+	NewPhased func(mem shmem.Mem) *phase.Counter
 }
+
+// Phased wave-instance shape: enough process slots for the widest catalog
+// churn, and an epoch small enough that every wave crosses merge windows
+// (where the crash plans are aimed).
+const (
+	phasedWaveLanes = 32
+	phasedWaveEpoch = 4
+)
 
 // recipes returns the default instantiation recipes: the strong adaptive
 // renamer and the monotone counter with hardware test-and-set (the
@@ -46,11 +68,17 @@ func recipes() (newRename func(mem shmem.Mem) *core.StrongAdaptive, newCounter f
 // and monotone counters with hardware test-and-set, seeded from seed.
 func NewTarget(seed uint64) *Target {
 	newRename, newCounter := recipes()
+	newPhased := func(mem shmem.Mem) *phase.Counter {
+		return phase.NewAAC(mem, phasedWaveLanes, phasedWaveEpoch)
+	}
 	return &Target{
 		Rename:     serve.New(serve.Options{Seed: seed}, newRename),
 		Counter:    serve.New(serve.Options{Seed: seed + 1}, newCounter),
+		Phased:     phase.NewPool(phase.Options{Seed: seed + 2}),
+		PhasedWave: serve.New(serve.Options{Seed: seed + 3}, newPhased),
 		NewRename:  newRename,
 		NewCounter: newCounter,
+		NewPhased:  newPhased,
 	}
 }
 
@@ -238,9 +266,17 @@ func runOp(s *Scenario, tg *Target, kind opKind, at float64, g *gauges) {
 	case opRename:
 		tg.Rename.Do(doRename)
 	case opInc:
-		tg.Counter.Do(doInc)
+		if s.Phased {
+			tg.Phased.Inc()
+		} else {
+			tg.Counter.Do(doInc)
+		}
 	case opRead:
-		tg.Counter.Do(doRead)
+		if s.Phased {
+			tg.Phased.Read()
+		} else {
+			tg.Counter.Do(doRead)
+		}
 	case opWave:
 		k := s.kAt(at)
 		for {
@@ -250,7 +286,11 @@ func runOp(s *Scenario, tg *Target, kind opKind, at float64, g *gauges) {
 			}
 		}
 		g.waveExtra.Add(int64(k - 1))
-		g.crashes.Add(runWave(tg.Rename, k, s.Faults))
+		if s.Phased {
+			g.crashes.Add(runPhasedWave(tg.PhasedWave, k, s.Faults))
+		} else {
+			g.crashes.Add(runWave(tg.Rename, k, s.Faults))
+		}
 		g.waveExtra.Add(int64(1 - k))
 	}
 }
@@ -270,6 +310,45 @@ func runWave(pool *serve.Pool[*core.StrongAdaptive], k int, plan *exec.FaultPlan
 	var fired uint64
 	for _, c := range st.Crashed {
 		if c {
+			fired++
+		}
+	}
+	return fired
+}
+
+// runPhasedWave checks a phased counter out and runs a k-process execution
+// wave against it: every process increments across a Joined→Split→Joined
+// double transition (process 0 flips the mode mid-flight) and reads, with
+// plan (if any) armed — so injected crashes land between a cell add and its
+// spine merge, the reconciliation window the phased design must survive.
+// Returns the number of plan crashes that fired.
+func runPhasedWave(pool *serve.Pool[*phase.Counter], k int, plan *exec.FaultPlan) uint64 {
+	if k > phasedWaveLanes {
+		k = phasedWaveLanes // instance shape bounds the wave width
+	}
+	in := pool.Get()
+	defer in.Put()
+	ex := in.Exec(k)
+	if plan != nil {
+		ex.Faults(plan)
+	}
+	c := in.Obj
+	st := ex.Run(func(p shmem.Proc) {
+		if p.ID() == 0 {
+			c.SetMode(phase.Split)
+		}
+		for i := 0; i < 4; i++ {
+			c.Inc(p)
+		}
+		c.Read(p)
+		if p.ID() == 0 {
+			c.SetMode(phase.Joined)
+		}
+		c.Inc(p)
+	})
+	var fired uint64
+	for _, cr := range st.Crashed {
+		if cr {
 			fired++
 		}
 	}

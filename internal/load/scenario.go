@@ -123,6 +123,14 @@ type Scenario struct {
 	// shares no counter; a run can therefore complete up to Workers−1
 	// operations more than Ops.
 	Ops uint64 `json:"ops,omitempty"`
+	// Phased routes counter traffic to the contention-adaptive phased
+	// counter (internal/phase) instead of the pooled monotone counter: Inc
+	// and Read hit the shared phased counter through its serving pool, and
+	// Wave runs k-process phased-counter executions (mode transitions
+	// mid-wave, the scenario's FaultPlan armed — crashes land inside merge
+	// windows). On the simulator the counter's mode is driven
+	// deterministically from the rate profile and churn width.
+	Phased bool `json:"phased,omitempty"`
 	// Faults is armed on every Wave execution (crash storms mid-load). The
 	// plan is re-armed fresh per wave, so one plan drives the whole run;
 	// plan entries for processes ≥ the current wave width simply never
@@ -223,6 +231,24 @@ func Catalog() []Scenario {
 			Mix:     Mix{Wave: 1},
 			WaveK:   8,
 			Seed:    7,
+		},
+		{
+			Name:    "phased",
+			Note:    "bursty counter traffic on the contention-adaptive phased counter — auto split/rejoin",
+			Arrival: Arrival{Kind: Burst, Rate: 5000, Peak: 40000, Period: 500 * time.Millisecond},
+			Mix:     Mix{Inc: 8, Read: 2},
+			Phased:  true,
+			Seed:    10,
+		},
+		{
+			Name:    "phased-churn",
+			Note:    "phased-counter waves churning k 2..12 with crashes landing mid-reconciliation",
+			Arrival: Arrival{Kind: Steady, Rate: 40},
+			Mix:     Mix{Inc: 5, Read: 2, Wave: 3},
+			Churn:   &Churn{MinK: 2, MaxK: 12, Period: 600 * time.Millisecond},
+			Faults:  exec.NewFaultPlan().CrashAt(1, 6).CrashAt(3, 14).CrashAt(5, 9),
+			Phased:  true,
+			Seed:    11,
 		},
 		{
 			Name:    "readheavy",

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"repro/internal/exec"
+	"repro/internal/phase"
 	"repro/internal/rng"
 	"repro/internal/shmem"
 	"repro/internal/sim"
@@ -45,6 +46,32 @@ func RunSim(s Scenario, seed uint64) *Report {
 	newRename, newCounter := recipes()
 	sa := newRename(rt)
 	ctr := newCounter(rt)
+
+	// Phased scenarios run their counter traffic on an accumulating phased
+	// counter. A serial lock-step machine has no live contention gauges, so
+	// the mode is driven deterministically from the declared load shape —
+	// the simulator analogue of the native pool's auto controller: split
+	// when the churn width crests past its midpoint (wave scenarios) or the
+	// offered rate is in the upper half of the profile's range, joined
+	// otherwise. Deterministic in t, hence per (seed, scenario).
+	var pc *phase.Counter
+	var phasedModeAt func(t float64) phase.Mode
+	if s.Phased {
+		pc = phase.NewAAC(rt, phasedWaveLanes, phasedWaveEpoch)
+		loRate, hiRate := prof.rateBounds()
+		phasedModeAt = func(t float64) phase.Mode {
+			if s.Churn != nil {
+				if 2*s.Churn.kAt(t) >= s.Churn.MinK+s.Churn.MaxK {
+					return phase.Split
+				}
+				return phase.Joined
+			}
+			if hiRate > loRate && prof.rateAt(t) >= (loRate+hiRate)/2 {
+				return phase.Split
+			}
+			return phase.Joined
+		}
+	}
 
 	// One execution context per wave width, with the scenario's plan armed;
 	// a separate solo context for the per-op kinds keeps them fault-free.
@@ -87,16 +114,55 @@ func RunSim(s Scenario, seed uint64) *Report {
 			nameSum += name
 			checksum = fold(checksum, name)
 		case opInc:
-			st = solo.Run(func(p shmem.Proc) { ctr.Inc(p) })
+			if pc != nil {
+				pc.SetMode(phasedModeAt(t))
+				st = solo.Run(func(p shmem.Proc) { pc.Inc(p) })
+			} else {
+				st = solo.Run(func(p shmem.Proc) { ctr.Inc(p) })
+			}
 		case opRead:
 			var v uint64
-			st = solo.Run(func(p shmem.Proc) { v = ctr.Read(p) })
+			if pc != nil {
+				pc.SetMode(phasedModeAt(t))
+				st = solo.Run(func(p shmem.Proc) { v = pc.Read(p) })
+			} else {
+				st = solo.Run(func(p shmem.Proc) { v = ctr.Read(p) })
+			}
 			checksum = fold(checksum, v)
 		case opWave:
 			k := s.kAt(t)
 			ks.sample(class, k)
 			if k > maxWaveK {
 				maxWaveK = k
+			}
+			if pc != nil {
+				// Phased wave: k processes increment the shared phased
+				// counter across a Split→Joined transition with the
+				// scenario's plan armed — crashes land inside merge windows;
+				// idempotent merges keep the accumulating value exact.
+				if k > phasedWaveLanes {
+					k = phasedWaveLanes
+				}
+				st = waveFor(k).Run(func(p shmem.Proc) {
+					if p.ID() == 0 {
+						pc.SetMode(phase.Split)
+					}
+					for i := 0; i < 4; i++ {
+						pc.Inc(p)
+					}
+					pc.Read(p)
+					if p.ID() == 0 {
+						pc.SetMode(phase.Joined)
+					}
+					pc.Inc(p)
+				})
+				for pid, crashed := range st.Crashed {
+					if crashed {
+						crashes++
+						checksum = fold(checksum, 0xc0a5<<16|uint64(pid))
+					}
+				}
+				break
 			}
 			sa.Reset()
 			if cap(names) < k {

@@ -1,0 +1,150 @@
+package maxreg
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/shmem"
+	"repro/internal/sim"
+)
+
+// TestMergeLayoutShape pins the compiled geometry: both banks round to one
+// power-of-two half-width, the tree doubles, and blueprints are cached.
+func TestMergeLayoutShape(t *testing.T) {
+	bp := CompileAACWithMerge(6, 3)
+	if bp.Size() != 8 {
+		t.Errorf("Size = %d, want 8", bp.Size())
+	}
+	if bp.MergeSlots() != 8 {
+		t.Errorf("MergeSlots = %d, want 8", bp.MergeSlots())
+	}
+	if again := CompileAACWithMerge(5, 8); again != bp {
+		t.Errorf("same half-width compiled twice: %p vs %p", again, bp)
+	}
+	if classic := CompileAAC(8); classic.MergeSlots() != 0 {
+		t.Errorf("classic MergeSlots = %d, want 0", classic.MergeSlots())
+	}
+}
+
+// TestMergeReadDecomposition pins the spine contract: Read = joined + merged
+// totals, and ReadJoined excludes every merged total.
+func TestMergeReadDecomposition(t *testing.T) {
+	rt := shmem.NewNative(1)
+	p := rt.NewProc(0)
+	c := NewAACCounterWithMerge(rt, 4, 4)
+	for i := 0; i < 3; i++ {
+		c.Inc(p)
+	}
+	c.Merge(p, 1, 10)
+	c.Merge(p, 2, 5)
+	if got := c.ReadJoined(p); got != 3 {
+		t.Errorf("ReadJoined = %d, want 3 (merges must be excluded)", got)
+	}
+	if got := c.Read(p); got != 18 {
+		t.Errorf("Read = %d, want 18 (3 joined + 10 + 5 merged)", got)
+	}
+}
+
+// TestMergeIdempotent pins that replaying a merge, or publishing a stale
+// (smaller) total, never moves the counter: merge leaves are CAS-max.
+func TestMergeIdempotent(t *testing.T) {
+	rt := shmem.NewNative(1)
+	p := rt.NewProc(0)
+	c := NewAACCounterWithMerge(rt, 2, 2)
+	c.Merge(p, 0, 8)
+	c.Merge(p, 0, 8) // replay
+	c.Merge(p, 0, 3) // stale
+	if got := c.Read(p); got != 8 {
+		t.Errorf("Read = %d, want 8 (replayed/stale merges must not move it)", got)
+	}
+	c.Merge(p, 0, 12)
+	if got := c.Read(p); got != 12 {
+		t.Errorf("Read = %d, want 12 after advancing merge", got)
+	}
+}
+
+// TestMergeLayoutLinearizable re-runs the classic exactness check on the
+// widened tree: direct increments alone, under every adversary, still sum
+// exactly — the extra (empty) merge subtree must not disturb the root.
+func TestMergeLayoutLinearizable(t *testing.T) {
+	const k, each = 4, 5
+	for seed := uint64(0); seed < 5; seed++ {
+		rt := sim.New(seed, sim.NewRandom(seed))
+		c := NewAACCounterWithMerge(rt, k, k)
+		var final uint64
+		done := rt.NewCASReg(0)
+		rt.Run(k, func(p shmem.Proc) {
+			for i := 0; i < each; i++ {
+				c.Inc(p)
+			}
+			for {
+				d := done.Read(p)
+				if done.CompareAndSwap(p, d, d+1) {
+					if d+1 == k {
+						final = c.Read(p)
+					}
+					break
+				}
+			}
+		})
+		if final != k*each {
+			t.Fatalf("seed=%d: final=%d, want %d", seed, final, k*each)
+		}
+	}
+}
+
+// TestMergeConcurrent races incrementers against mergers of the same source
+// publishing rising cumulative totals (run with -race): the final value must
+// be exact — no lost refresh, no double count.
+func TestMergeConcurrent(t *testing.T) {
+	rt := shmem.NewNative(7)
+	c := NewAACCounterWithMerge(rt, 4, 4)
+	const incs, total = 2000, 5000
+	var wg sync.WaitGroup
+	for g := 0; g < 2; g++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			p := rt.NewProc(id)
+			for i := 0; i < incs; i++ {
+				c.Inc(p)
+			}
+		}(g)
+	}
+	for g := 2; g < 4; g++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			p := rt.NewProc(id)
+			for v := uint64(1); v <= total; v++ {
+				c.Merge(p, 0, v) // same source: CAS-max keeps the larger
+			}
+		}(g)
+	}
+	wg.Wait()
+	p := rt.NewProc(0)
+	// One last merge repairs any refresh lost to the final race window.
+	c.Merge(p, 0, total)
+	if got := c.Read(p); got != 2*incs+total {
+		t.Fatalf("Read = %d, want %d", got, 2*incs+total)
+	}
+	if got := c.ReadJoined(p); got != 2*incs {
+		t.Fatalf("ReadJoined = %d, want %d", got, 2*incs)
+	}
+}
+
+// TestMergeReset pins that Reset rewinds merge leaves too.
+func TestMergeReset(t *testing.T) {
+	rt := shmem.NewNative(1)
+	p := rt.NewProc(0)
+	c := NewAACCounterWithMerge(rt, 2, 2)
+	c.Inc(p)
+	c.Merge(p, 1, 9)
+	c.Reset()
+	if got := c.Read(p); got != 0 {
+		t.Errorf("Read after Reset = %d, want 0", got)
+	}
+	if got := c.ReadJoined(p); got != 0 {
+		t.Errorf("ReadJoined after Reset = %d, want 0", got)
+	}
+}

@@ -1,0 +1,313 @@
+// Package phase is the contention-adaptive phased counter: the doppel-style
+// split/joined phase-reconciliation architecture lifted onto the paper's
+// counting objects.
+//
+// A phased counter runs in one of two modes over one authoritative spine:
+//
+//   - Joined: Inc delegates straight to the spine — the instruction stream
+//     of the underlying counter, nothing added but one atomic mode load.
+//     This is the low-contention mode: the spine (the AAC tree, or a CAS
+//     word) is cheapest when nobody is racing it.
+//   - Split: Inc lands in a cache-line-padded per-shard cell (one atomic
+//     fetch-and-add, lock-free, allocation-free) and the spine is updated
+//     only on epoch boundaries: when a cell's cumulative count crosses a
+//     multiple of the epoch, the crossing incrementer merges that cell into
+//     the spine (cooperative reconciliation; a serving pool can also run a
+//     dedicated reconciler). The spine walk is amortized over the epoch —
+//     at high contention this replaces the contended O(log n · log v) walk
+//     per Inc with one uncontended add.
+//
+// Reads never lose monotone consistency to the split (the correctness
+// contract exec.CheckCounterTrace verifies): cells are *cumulative* — they
+// are never drained — and merges publish a source's cumulative total into a
+// per-source CAS-max slot inside the spine, so merging is idempotent and
+// crash-safe (a merge replayed, raced, or crashed mid-way can never
+// double-count or lose a completed increment). Read returns
+// ReadJoined(spine) + Σ cells: every component is monotone, every completed
+// increment has landed in exactly one component, and merged totals are
+// excluded from ReadJoined — so the sum is within [completed, started] and
+// non-overlapping reads are value-ordered, without any snapshot or seqlock
+// (a crashed reconciler can therefore never wedge readers). ReadSpine
+// returns the authoritative spine value, which lags by at most one epoch of
+// unmerged counts per cell — the documented bounded staleness; ReadStrict
+// merges every cell first and then reads the spine.
+//
+// Mode switching is a serving-tier policy (see Pool): automatic and
+// hysteretic, driven by the live contention gauges the serving layer
+// already maintains (lease/CAS retry rates, in-flight counts). The counter
+// itself keeps SetMode cheap and correct in either direction: switching
+// never invalidates cells (reads always sweep them), it only changes where
+// *new* increments go — so a transition needs no stop-the-world phase
+// change, matching how the paper's objects adapt to contention rather than
+// configuration.
+package phase
+
+import (
+	"sync/atomic"
+
+	"repro/internal/core"
+	"repro/internal/maxreg"
+	"repro/internal/shmem"
+)
+
+// Mode is the counter's current phase.
+type Mode int32
+
+const (
+	// Joined delegates every Inc to the spine.
+	Joined Mode = iota
+	// Split absorbs Incs into local cells, reconciled on epoch boundaries.
+	Split
+)
+
+// String names the mode (stats and reports).
+func (m Mode) String() string {
+	if m == Split {
+		return "split"
+	}
+	return "joined"
+}
+
+// Spine is the authoritative counter a phased counter reconciles into.
+// Merge must be idempotent per source (publishing a cumulative total by
+// CAS-max), Read must return joined increments plus merged totals, and
+// ReadJoined must exclude merged totals — the decomposition Read relies on
+// for monotone consistency. maxreg.AACCounter (merge layout) satisfies it
+// directly; CASSpine adapts core.CASCounter.
+type Spine interface {
+	Inc(p shmem.Proc)
+	Read(p shmem.Proc) uint64
+	ReadJoined(p shmem.Proc) uint64
+	Merge(p shmem.Proc, src int, total uint64)
+	shmem.Resettable
+}
+
+// CASSpine adapts the baseline core.CASCounter to the Spine contract: the
+// word counts joined increments, and a padded per-source register bank
+// holds merged totals (advanced by CAS-max, so merges stay idempotent and
+// crash-safe). Read sums the word and the slots — monotone components, as
+// the contract requires.
+type CASSpine struct {
+	c     *core.CASCounter
+	slots []shmem.FastReg
+	arena shmem.RegArena
+}
+
+// NewCASSpine builds the adapter with the given number of merge sources.
+func NewCASSpine(mem shmem.Mem, slots int) *CASSpine {
+	if slots < 1 {
+		slots = 1
+	}
+	a := shmem.NewRegs(mem, slots)
+	s := &CASSpine{c: core.NewCASCounter(mem), arena: a, slots: make([]shmem.FastReg, slots)}
+	for i := range s.slots {
+		s.slots[i] = shmem.FastAt(a, i)
+	}
+	return s
+}
+
+// Inc delegates to the CAS counter.
+func (s *CASSpine) Inc(p shmem.Proc) { s.c.Inc(p) }
+
+// ReadJoined returns the direct-increment word alone.
+func (s *CASSpine) ReadJoined(p shmem.Proc) uint64 { return s.c.Read(p) }
+
+// Read returns joined increments plus every merged total.
+func (s *CASSpine) Read(p shmem.Proc) uint64 {
+	v := s.c.Read(p)
+	for _, r := range s.slots {
+		v += r.Read(p)
+	}
+	return v
+}
+
+// Merge CAS-maxes total into source src's slot.
+func (s *CASSpine) Merge(p shmem.Proc, src int, total uint64) {
+	r := s.slots[src]
+	for {
+		v := r.Read(p)
+		if v >= total {
+			return
+		}
+		if r.CompareAndSwap(p, v, total) {
+			return
+		}
+	}
+}
+
+// Retries exposes the CAS counter's failed-CAS gauge (the Pool's
+// spine-contention signal).
+func (s *CASSpine) Retries() uint64 { return s.c.Retries() }
+
+// Reset rewinds the word and the merge slots. Between executions only.
+func (s *CASSpine) Reset() {
+	s.c.Reset()
+	s.arena.Reset()
+}
+
+// Counter is the phased counter over one spine. It runs on either runtime
+// (native goroutines or the deterministic simulator); process ids index
+// the cells, so ids must stay below the spine's process capacity and
+// shards are id & (cells-1).
+type Counter struct {
+	spine Spine
+	cells *shmem.Cells
+	mask  uint64
+	epoch uint64 // power of two: cooperative merge period per cell
+
+	mode     atomic.Int32
+	switches atomic.Uint64
+	merges   atomic.Uint64
+}
+
+// NewCounter builds a phased counter over an explicit spine with the given
+// cell count (rounded up to a power of two) and cooperative epoch (rounded
+// up to a power of two; a cell is merged whenever its cumulative count
+// crosses a multiple of the epoch). It starts Joined.
+func NewCounter(spine Spine, cells, epoch int) *Counter {
+	e := uint64(1)
+	for e < uint64(max(epoch, 1)) {
+		e <<= 1
+	}
+	ca := shmem.NewCells(cells)
+	return &Counter{spine: spine, cells: ca, mask: uint64(ca.Len() - 1), epoch: e}
+}
+
+// NewAAC builds the standard phased counter: an AAC merge-layout spine
+// with lanes process slots, one cell (and one merge slot) per lane.
+func NewAAC(mem shmem.Mem, lanes, epoch int) *Counter {
+	if lanes < 1 {
+		lanes = 1
+	}
+	size := 1
+	for size < lanes {
+		size <<= 1
+	}
+	return NewCounter(maxreg.NewAACCounterWithMerge(mem, size, size), size, epoch)
+}
+
+// NewCAS is NewAAC over the baseline CAS spine.
+func NewCAS(mem shmem.Mem, lanes, epoch int) *Counter {
+	if lanes < 1 {
+		lanes = 1
+	}
+	size := 1
+	for size < lanes {
+		size <<= 1
+	}
+	return NewCounter(NewCASSpine(mem, size), size, epoch)
+}
+
+// Spine returns the authoritative spine.
+func (c *Counter) Spine() Spine { return c.spine }
+
+// Cells returns the cell count.
+func (c *Counter) Cells() int { return int(c.mask) + 1 }
+
+// Epoch returns the cooperative merge period.
+func (c *Counter) Epoch() uint64 { return c.epoch }
+
+// Mode returns the current mode.
+func (c *Counter) Mode() Mode { return Mode(c.mode.Load()) }
+
+// SetMode switches the mode for subsequent Incs. Switching is always safe
+// mid-execution: reads sweep the cells in either mode, so no increment is
+// ever orphaned; switching to Joined merely stops feeding the cells (a
+// serving tier that wants the spine fresh afterwards runs Reconcile).
+func (c *Counter) SetMode(m Mode) {
+	if c.mode.Swap(int32(m)) != int32(m) {
+		c.switches.Add(1)
+	}
+}
+
+// Inc adds one on behalf of p. Joined mode is the spine's own increment;
+// split mode is one padded fetch-and-add, plus a cooperative merge when
+// the cell crosses an epoch boundary.
+func (c *Counter) Inc(p shmem.Proc) {
+	if Mode(c.mode.Load()) == Joined {
+		c.spine.Inc(p)
+		return
+	}
+	shard := uint64(p.ID()) & c.mask
+	n := c.cells.Add(p, int(shard), 1)
+	if n&(c.epoch-1) == 0 {
+		c.spine.Merge(p, int(shard), n)
+		c.merges.Add(1)
+	}
+}
+
+// Read returns the fast monotone-consistent value: joined increments plus
+// every cell's cumulative count. No merge slot is double-counted
+// (ReadJoined excludes them) and no completed increment is missing (a
+// completed split Inc has landed its cell add; a completed joined Inc has
+// refreshed the joined component) — so the value sits in
+// [completed, started] and non-overlapping Reads are value-ordered, in
+// either mode and across mode switches.
+func (c *Counter) Read(p shmem.Proc) uint64 {
+	return c.spine.ReadJoined(p) + c.cells.Sum(p)
+}
+
+// ReadSpine returns the authoritative spine value: joined increments plus
+// merged totals. It lags Read by the unmerged remainder of each cell —
+// less than one epoch per cell, the documented staleness bound — and is
+// NOT monotone-consistent against concurrent split increments (use Read or
+// ReadStrict for checked values).
+func (c *Counter) ReadSpine(p shmem.Proc) uint64 {
+	return c.spine.Read(p)
+}
+
+// ReadStrict merges every cell and returns the spine value: the forced
+// reconciliation read. Strict reads are monotone-consistent, also mixed
+// with fast Reads: the merge publishes at least every cell value a
+// completed earlier Read observed, and the spine's joined component is
+// refreshed on the way (the root sums both subtrees).
+func (c *Counter) ReadStrict(p shmem.Proc) uint64 {
+	c.Reconcile(p)
+	return c.spine.Read(p)
+}
+
+// Reconcile merges every nonzero cell's cumulative count into the spine,
+// bringing its staleness to zero as of the sweep. Safe to run from any
+// process, concurrently with increments and other reconcilers, and at any
+// point of a crash storm — merges are idempotent CAS-max publications.
+func (c *Counter) Reconcile(p shmem.Proc) {
+	for i := 0; i <= int(c.mask); i++ {
+		if v := c.cells.Load(p, i); v > 0 {
+			c.spine.Merge(p, i, v)
+			c.merges.Add(1)
+		}
+	}
+}
+
+// Merges returns the number of cell merges performed (cooperative,
+// reconciler, and strict-read merges alike).
+func (c *Counter) Merges() uint64 { return c.merges.Load() }
+
+// Switches returns the number of mode transitions.
+func (c *Counter) Switches() uint64 { return c.switches.Load() }
+
+// Lag samples the unmerged remainder: the fast value minus the
+// authoritative spine value, i.e. how far the spine currently trails — the
+// staleness gauge, bounded below one epoch per cell plus in-flight joined
+// increments. Charged as ordinary read steps on p (stats calls run on a
+// serving proc).
+func (c *Counter) Lag(p shmem.Proc) uint64 {
+	f := c.Read(p)
+	s := c.ReadSpine(p)
+	if f <= s {
+		return 0
+	}
+	return f - s
+}
+
+// Reset rewinds the counter to its just-constructed state: spine and cells
+// to zero, mode to Joined, accounting cleared. Between executions only.
+func (c *Counter) Reset() {
+	c.spine.Reset()
+	c.cells.Reset()
+	c.mode.Store(int32(Joined))
+	c.switches.Store(0)
+	c.merges.Store(0)
+}
+
+var _ shmem.Resettable = (*Counter)(nil)

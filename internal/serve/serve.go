@@ -190,17 +190,20 @@ type shard[T shmem.Resettable] struct {
 	hits      atomic.Uint64 // checkouts served from the freelist
 	overflows atomic.Uint64 // checkouts that had to instantiate
 	leased    atomic.Int64  // instances currently checked out of this shard
+	retries   atomic.Uint64 // failed head CASes (pop or push) — the contention gauge
 
 	mu    sync.Mutex                     // guards instance-table growth only
 	insts atomic.Pointer[[]*Instance[T]] // copy-on-write; indices are stable
 
 	// Pad the struct to 128 bytes (two cache lines): the hot fields above
-	// total 48, so consecutive shards' heads land ≥128 bytes apart and
+	// total 56, so consecutive shards' heads land ≥128 bytes apart and
 	// adjacent-line prefetching cannot re-couple them.
-	_ [80]byte
+	_ [72]byte
 }
 
-// pop takes an idle instance off the freelist, or returns nil.
+// pop takes an idle instance off the freelist, or returns nil. Each failed
+// head CAS counts one retry: the uncontended path is unchanged, and the
+// counter lives on the shard header line the CAS already owns.
 func (s *shard[T]) pop() *Instance[T] {
 	for {
 		h := s.head.Load()
@@ -212,10 +215,12 @@ func (s *shard[T]) pop() *Instance[T] {
 		if s.head.CompareAndSwap(h, (h>>idxBits+1)<<idxBits|next) {
 			return in
 		}
+		s.retries.Add(1)
 	}
 }
 
-// push returns an instance to the freelist.
+// push returns an instance to the freelist (failed CASes count retries,
+// as in pop).
 func (s *shard[T]) push(in *Instance[T]) {
 	for {
 		h := s.head.Load()
@@ -223,6 +228,7 @@ func (s *shard[T]) push(in *Instance[T]) {
 		if s.head.CompareAndSwap(h, (h>>idxBits+1)<<idxBits|uint64(in.idx+1)) {
 			return
 		}
+		s.retries.Add(1)
 	}
 }
 
@@ -393,6 +399,7 @@ type Stats struct {
 	Hits      uint64 // checkouts served from a freelist
 	Overflows uint64 // checkouts that instantiated a fresh graph
 	InFlight  int    // instances checked out right now (the live gauge)
+	Retries   uint64 // failed freelist CASes — checkout-path contention
 }
 
 // Stats sums the per-shard counters.
@@ -402,8 +409,22 @@ func (p *Pool[T]) Stats() Stats {
 		st.Hits += p.shards[i].hits.Load()
 		st.Overflows += p.shards[i].overflows.Load()
 		st.InFlight += int(p.shards[i].leased.Load())
+		st.Retries += p.shards[i].retries.Load()
 	}
 	return st
+}
+
+// Retries returns the total failed freelist CASes across shards — the
+// checkout-path contention counterpart of InFlight. Like InFlight it is a
+// monitoring sample (the phased counter's mode switcher reads gauges of
+// this shape), summed from per-shard counters that live on the already-hot
+// shard header lines, so the gauge adds nothing to the checkout path.
+func (p *Pool[T]) Retries() uint64 {
+	var n uint64
+	for i := range p.shards {
+		n += p.shards[i].retries.Load()
+	}
+	return n
 }
 
 // InFlight returns the number of instances checked out right now — the

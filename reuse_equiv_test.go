@@ -75,6 +75,25 @@ func equivCases() []equivCase {
 				}
 			}, c.Reset
 		}},
+		{"phased-counter", 4, func(mem renaming.Mem) (func(p renaming.Proc), func()) {
+			c := renaming.NewPhasedCounter(mem, 4, 2)
+			return func(p renaming.Proc) {
+				if p.ID() == 0 {
+					c.SetMode(renaming.PhaseSplit)
+				}
+				for i := 0; i < 4; i++ {
+					c.Inc(p)
+					c.Read(p)
+				}
+				if p.ID() == 1 {
+					c.ReadStrict(p)
+				}
+				if p.ID() == 0 {
+					c.SetMode(renaming.PhaseJoined)
+				}
+				c.Inc(p)
+			}, c.Reset
+		}},
 		{"fetchinc", 5, func(mem renaming.Mem) (func(p renaming.Proc), func()) {
 			f := renaming.NewFetchInc(mem, 16)
 			return func(p renaming.Proc) { f.Inc(p) }, f.Reset

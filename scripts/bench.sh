@@ -12,7 +12,11 @@
 # plus the armed FaultArmed/Recorded variants; BENCH_5.json is the record
 # of the workload-harness PR — the BenchmarkScenario/* rows: open-loop
 # achieved-vs-offered rate and latency quantiles for the steady, burst,
-# and churn catalog scenarios).
+# and churn catalog scenarios; BENCH_6.json is the record of the phased
+# counting PR — the Phased*Throughput rows (auto/joined/split vs the
+# SharedAACInc baseline), the PhasedInc serial A/B legs, and the phased /
+# phased-churn scenario rows. scripts/bench_gate.sh compares consecutive
+# records and fails CI on regressions in shared rows).
 #
 # Three passes feed one results array:
 #
@@ -44,10 +48,10 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 benchtime="${BENCHTIME:-2s}"
-pattern="${BENCH:-BenchmarkStrongAdaptive\$|BenchmarkStrongAdaptiveHardware|BenchmarkNativeRenaming\$|BenchmarkNativeRenamingFaultArmed|BenchmarkNativeRenamingRecorded|BenchmarkNativeCounter|BenchmarkFreshBuild|BenchmarkInstantiate|BenchmarkCompileCold|BenchmarkBitBatching\$}"
+pattern="${BENCH:-BenchmarkStrongAdaptive\$|BenchmarkStrongAdaptiveHardware|BenchmarkNativeRenaming\$|BenchmarkNativeRenamingFaultArmed|BenchmarkNativeRenamingRecorded|BenchmarkNativeCounter|BenchmarkFreshBuild|BenchmarkInstantiate|BenchmarkCompileCold|BenchmarkBitBatching\$|BenchmarkPhasedInc|BenchmarkAACIncSerial}"
 parpattern="${PARBENCH:-Throughput}"
 cpus="${CPUS:-1,2,4}"
-scenarios="${SCENARIOS:-steady,burst,churn}"
+scenarios="${SCENARIOS:-steady,burst,churn,phased,phased-churn}"
 scendur="${SCENDUR:-3s}"
 
 n=1

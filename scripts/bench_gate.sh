@@ -1,0 +1,116 @@
+#!/usr/bin/env bash
+# bench_gate.sh — regression gate between two BENCH_<n>.json records.
+#
+# Compares ns/op for every benchmark name present in BOTH files and fails
+# if any shared row got slower by more than the threshold. Rows that exist
+# in only one file (new benchmarks, retired benchmarks) are ignored: the
+# gate pins the perf trajectory of what carried over, it does not demand
+# the suites be identical.
+#
+# Records are usually taken days apart on shared runners, so raw ns/op
+# ratios mix real regressions with machine drift (CPU steal, thermal,
+# neighbor load — measured at +20-40% uniformly across untouched code
+# paths on this repo's reference box; see BENCHMARKS.md "Adaptive phase
+# reconciliation" for the calibration). The gate therefore normalizes by
+# default: each row's ratio is divided by the median ratio over all shared
+# rows, cancelling the global machine-speed factor, and the threshold
+# applies to the residual per-row regression. A uniform slowdown passes; a
+# single code path regressing beyond the pack fails. GATE_RAW=1 disables
+# normalization for same-machine same-day comparisons.
+#
+# Usage:
+#   scripts/bench_gate.sh BASE.json NEW.json [threshold-pct]
+#   GATE_THRESHOLD=50 scripts/bench_gate.sh BENCH_5.json BENCH_6.json
+#   GATE_RAW=1 scripts/bench_gate.sh A.json B.json 15   # no normalization
+#
+# Threshold is a percentage (default 15): a shared row may be up to that
+# much slower than the median drift before the gate fails. Faster is
+# always fine. 15% suits same-day records; cross-day records on shared
+# runners need ~50% to sit outside measured row-level noise (CI uses
+# that), which still catches the regressions that matter here — a lost
+# fast path or devirtualization is 2-10×.
+#
+# BENCH files are line-oriented: one result object per line with
+# {"name": ..., "metrics": {"ns/op": ...}} (see scripts/bench.sh), so a
+# field-split awk pass is enough — no JSON tooling required.
+set -euo pipefail
+
+if [ $# -lt 2 ]; then
+	echo "usage: $0 BASE.json NEW.json [threshold-pct]" >&2
+	exit 2
+fi
+base="$1"
+new="$2"
+threshold="${3:-${GATE_THRESHOLD:-15}}"
+raw="${GATE_RAW:-0}"
+
+for f in "$base" "$new"; do
+	if [ ! -f "$f" ]; then
+		echo "bench_gate: $f not found" >&2
+		exit 2
+	fi
+done
+
+awk -v thr="$threshold" -v basefile="$base" -v rawmode="$raw" '
+	# Subscripting with an uninitialized counter would use the empty string,
+	# not 0 — initialize explicitly.
+	BEGIN { shared = 0; added = 0; fails = 0 }
+	# Pull ("name", ns/op) out of one result line; returns 0 on non-result
+	# lines (header/footer of the JSON envelope) and on rows with no ns/op
+	# (the scenario rows record rates and quantiles instead).
+	function parse(line, parts,   nm, rest) {
+		if (line !~ /"name":/ || line !~ /"ns\/op":/) return 0
+		nm = line
+		sub(/^.*"name": "/, "", nm)
+		sub(/".*$/, "", nm)
+		rest = line
+		sub(/^.*"ns\/op": /, "", rest)
+		sub(/[,}].*$/, "", rest)
+		parts["name"] = nm
+		parts["ns"] = rest + 0
+		return 1
+	}
+	NR == FNR {
+		if (parse($0, p)) base_ns[p["name"]] = p["ns"]
+		next
+	}
+	{
+		if (!parse($0, p)) next
+		if (!(p["name"] in base_ns)) { added++; next }
+		name[shared] = p["name"]
+		ratio[shared] = p["ns"] / base_ns[name[shared]]
+		newns[shared] = p["ns"]
+		shared++
+	}
+	END {
+		if (shared == 0) {
+			print "bench_gate: no shared rows — nothing to gate"
+			exit 2
+		}
+		# Median ratio = the machine-drift factor both records share.
+		drift = 1
+		if (!rawmode) {
+			for (i = 0; i < shared; i++) s[i] = ratio[i]
+			for (i = 0; i < shared; i++)
+				for (j = i + 1; j < shared; j++)
+					if (s[j] < s[i]) { t = s[i]; s[i] = s[j]; s[j] = t }
+			drift = (shared % 2) ? s[int(shared / 2)] : (s[shared / 2 - 1] + s[shared / 2]) / 2
+			printf "bench_gate: machine-drift factor %.3f (median over %d shared rows)\n", drift, shared
+		}
+		for (i = 0; i < shared; i++) {
+			dev = 100 * (ratio[i] / drift - 1)
+			bn = newns[i] / ratio[i]
+			if (dev > thr) {
+				printf "FAIL %-60s %12.1f -> %12.1f ns/op  (%+.1f%% vs drift > %s%%)\n",
+					name[i], bn, newns[i], dev, thr
+				fails++
+			} else {
+				printf "ok   %-60s %12.1f -> %12.1f ns/op  (%+.1f%% vs drift)\n",
+					name[i], bn, newns[i], dev
+			}
+		}
+		printf "bench_gate: %d shared rows (%d new-only ignored), threshold %s%%: ", shared, added, thr
+		if (fails > 0) { printf "%d regression(s) vs %s\n", fails, basefile; exit 1 }
+		printf "no regressions vs %s\n", basefile
+	}
+' "$base" "$new"
