@@ -211,6 +211,33 @@
 // "phased-churn" catalog scenarios run this machinery under bursty load
 // and under churn with crashes landing mid-reconciliation.
 //
+// # Schedule sweeps
+//
+// The sweep engine (NewSweep, cmd/renamesweep) turns the deterministic
+// simulator into a fleet: a work-stealing pool of workers, each owning one
+// long-lived arena per object kind (blueprint instantiated once, then
+// Runtime.Reset + object Reset per execution — the steady state allocates
+// nothing), burns through the cross product of seeds × adversary families ×
+// crash plans × objects, checking every execution's validity and tracking
+// worst-case step complexity:
+//
+//	sp, _ := renaming.NewSweepSpace(renaming.SweepObjects(), 16)
+//	sw, _ := renaming.NewSweep(sp, renaming.SweepOptions{Workers: 4})
+//	rep := sw.Run()
+//	os.Stdout.Write(rep.JSON())  // per-object rows + harvested worst cases
+//
+// The report is bit-identical regardless of worker count or steal order:
+// every per-object statistic is merged commutatively, and worst-case
+// selection breaks ties by task order, not arrival order. -search switches
+// from grid enumeration to an annealing search over adversary seeds and
+// crash plans, hunting executions that maximize step complexity or break
+// validity. Either way the worst schedules found are harvested: re-recorded
+// through the execution layer into an EventLog and verified to replay
+// bit-identically, so a sweep's output is not a report of something that
+// happened once but a set of reproducible artifacts — the frozen ones ship
+// as regressions (SweepRegressions, renamesweep -regressions) that CI
+// replays forever. renamesweep exits nonzero on any violation.
+//
 // See examples/ for runnable scenarios (threadpool and ticketing serve
 // repeated waves from pools; chaos crash-injects native executions and
 // replays them; loadtest runs a burst + crash-storm catalog scenario) and

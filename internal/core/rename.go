@@ -99,7 +99,16 @@ func (b *BitBatching) Reset() {
 // Rename competes for a name in [1, n]. It panics if the namespace is
 // exhausted, which can only happen if more than n distinct uids participate.
 func (b *BitBatching) Rename(p shmem.Proc, uid uint64) uint64 {
-	visited := make([]bool, b.bp.n)
+	// The visited set is per-invocation scratch; keeping it on the stack for
+	// the common vector sizes makes Rename allocation-free (the sweep engine
+	// pins 0 allocs per execution in its steady state).
+	var buf [64]bool
+	var visited []bool
+	if b.bp.n <= len(buf) {
+		visited = buf[:b.bp.n]
+	} else {
+		visited = make([]bool, b.bp.n)
+	}
 
 	// Stage 1: 3·log n distinct random probes in every batch but the last;
 	// every slot of the last batch.

@@ -98,6 +98,7 @@ type worker struct {
 	id    int
 	gen   rngState
 	sc    *sched // nil for closed-loop kinds
+	z     *zipf  // shared target sampler; nil when the scenario has no skew
 	hists []Hist // one per phase class
 	late  Hist   // scheduling lateness (behind-schedule starts)
 	ops   [numOpKinds]uint64
@@ -129,9 +130,13 @@ func Run(s Scenario, tg *Target) *Report {
 	}
 	prof := buildProfile(s.Arrival, s.Duration)
 
+	var z *zipf
+	if s.Mix.Skew > 0 {
+		z = newZipf(s.Mix.Targets, s.Mix.Skew)
+	}
 	workers := make([]*worker, s.Workers)
 	for i := range workers {
-		w := &worker{id: i, gen: rng.Derived(s.Seed, uint64(i))}
+		w := &worker{id: i, gen: rng.Derived(s.Seed, uint64(i)), z: z}
 		w.hists = make([]Hist, len(prof.classes))
 		if s.Arrival.Kind != Closed {
 			// The gap stream is split from the op-pick stream so open- and
@@ -224,7 +229,8 @@ func runOpenLoop(s *Scenario, tg *Target, w *worker, start time.Time, budget uin
 		sleepUntil(start, schedNs)
 		lateNs := time.Since(start).Nanoseconds() - schedNs
 		kind := s.Mix.pick(&w.gen)
-		runOp(s, tg, kind, tSched, g)
+		key, keyed := w.target(kind)
+		runOp(s, tg, kind, tSched, key, keyed, g)
 		latNs := time.Since(start).Nanoseconds() - schedNs
 		if latNs < 0 {
 			latNs = 0
@@ -249,8 +255,9 @@ func runClosedLoop(s *Scenario, tg *Target, w *worker, prof *profile, start time
 		}
 		class := prof.classAt(off.Seconds())
 		kind := s.Mix.pick(&w.gen)
+		key, keyed := w.target(kind)
 		t0 := time.Now()
-		runOp(s, tg, kind, off.Seconds(), g)
+		runOp(s, tg, kind, off.Seconds(), key, keyed, g)
 		w.observe(class, uint64(time.Since(t0).Nanoseconds()), 0)
 		w.ops[kind]++
 		w.count++
@@ -260,21 +267,36 @@ func runClosedLoop(s *Scenario, tg *Target, w *worker, prof *profile, start time
 	}
 }
 
-// runOp executes one operation of the given kind.
-func runOp(s *Scenario, tg *Target, kind opKind, at float64, g *gauges) {
+// runOp executes one operation of the given kind. When keyed, the
+// per-operation kinds route through the pool's keyed checkout with the
+// drawn target as the shard key — Zipf-hot targets contend for the same
+// shard's freelist, which is exactly the hot-spot the skew scenarios
+// measure. (The shared phased counter has no per-target identity, so
+// phased Inc/Read ignore the key.)
+func runOp(s *Scenario, tg *Target, kind opKind, at float64, key uint64, keyed bool, g *gauges) {
 	switch kind {
 	case opRename:
-		tg.Rename.Do(doRename)
-	case opInc:
-		if s.Phased {
-			tg.Phased.Inc()
+		if keyed {
+			tg.Rename.DoKeyed(key, doRename)
 		} else {
+			tg.Rename.Do(doRename)
+		}
+	case opInc:
+		switch {
+		case s.Phased:
+			tg.Phased.Inc()
+		case keyed:
+			tg.Counter.DoKeyed(key, doInc)
+		default:
 			tg.Counter.Do(doInc)
 		}
 	case opRead:
-		if s.Phased {
+		switch {
+		case s.Phased:
 			tg.Phased.Read()
-		} else {
+		case keyed:
+			tg.Counter.DoKeyed(key, doRead)
+		default:
 			tg.Counter.Do(doRead)
 		}
 	case opWave:

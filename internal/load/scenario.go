@@ -25,6 +25,17 @@ type Mix struct {
 	// layer, with the scenario's FaultPlan (if any) armed. k is WaveK, or
 	// time-varying under Churn.
 	Wave int `json:"wave,omitempty"`
+	// Targets is the keyed-target universe for Rename/Inc/Read when Skew
+	// is set: each such op draws a target id in [0, Targets) and routes
+	// through the pool's keyed checkout, so hot targets collide on the
+	// same shard instead of spreading uniformly. 0 defaults to 64 when
+	// Skew > 0 (ignored otherwise).
+	Targets int `json:"targets,omitempty"`
+	// Skew is the Zipf exponent of the target draw: P(target=i) ∝
+	// 1/(i+1)^Skew. 0 (the default) disables target selection entirely —
+	// no extra rng draws, so pre-skew scenarios' op streams are unchanged.
+	// 0.99 is the classic YCSB zipfian; higher concentrates harder.
+	Skew float64 `json:"skew,omitempty"`
 }
 
 func (m Mix) total() int { return m.Rename + m.Inc + m.Read + m.Wave }
@@ -155,6 +166,9 @@ func (s Scenario) withDefaults() Scenario {
 	if s.WaveK <= 0 {
 		s.WaveK = 8
 	}
+	if s.Mix.Skew > 0 && s.Mix.Targets <= 0 {
+		s.Mix.Targets = 64
+	}
 	return s
 }
 
@@ -249,6 +263,13 @@ func Catalog() []Scenario {
 			Faults:  exec.NewFaultPlan().CrashAt(1, 6).CrashAt(3, 14).CrashAt(5, 9),
 			Phased:  true,
 			Seed:    11,
+		},
+		{
+			Name:    "skew",
+			Note:    "poisson mixed ops with zipf-skewed targets — hot shards under memoryless load",
+			Arrival: Arrival{Kind: Poisson, Rate: 15000},
+			Mix:     Mix{Rename: 6, Inc: 3, Read: 1, Targets: 64, Skew: 0.99},
+			Seed:    12,
 		},
 		{
 			Name:    "readheavy",

@@ -35,9 +35,13 @@ func RunSim(s Scenario, seed uint64) *Report {
 	}
 	prof := buildProfile(s.Arrival, s.Duration)
 
+	var z *zipf
+	if s.Mix.Skew > 0 {
+		z = newZipf(s.Mix.Targets, s.Mix.Skew)
+	}
 	workers := make([]*worker, s.Workers)
 	for i := range workers {
-		w := &worker{id: i, gen: rng.Derived(seed, uint64(i))}
+		w := &worker{id: i, gen: rng.Derived(seed, uint64(i)), z: z}
 		w.hists = make([]Hist, len(prof.classes))
 		workers[i] = w
 	}
@@ -102,6 +106,13 @@ func RunSim(s Scenario, seed uint64) *Report {
 		t := float64(i) / float64(n) * prof.total
 		class := prof.classAt(t)
 		kind := s.Mix.pick(&w.gen)
+		// The simulator has one shared object graph per kind — no shards to
+		// route to — but a skewed scenario still draws its target here, from
+		// the same worker stream as the native runner, and folds it into the
+		// checksum: the Zipf stream itself is pinned replay-deterministic.
+		if key, keyed := w.target(kind); keyed {
+			checksum = fold(checksum, 0x21f<<32|key)
+		}
 		opSeed := opSeeds.Next()
 		rt.Reset(opSeed, sim.NewRandom(opSeed))
 

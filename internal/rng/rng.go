@@ -18,6 +18,12 @@ func mix64(z uint64) uint64 {
 	return z ^ (z >> 31)
 }
 
+// Mix64 exposes the output finalizer as a standalone 64-bit hash: a cheap,
+// high-quality permutation for checksums that must be order-insensitive
+// when summed (the sweep engine hashes each execution's outcome and adds
+// the hashes, so any merge order of per-worker accumulators agrees).
+func Mix64(z uint64) uint64 { return mix64(z) }
+
 // SplitMix64 is a 64-bit state PRNG with good statistical properties and a
 // period of 2^64.
 //
@@ -35,7 +41,15 @@ type SplitMix64 struct {
 
 // New returns a generator seeded with seed, on the default orbit.
 func New(seed uint64) *SplitMix64 {
-	return &SplitMix64{state: mix64(seed), gamma: goldenGamma}
+	g := NewState(seed)
+	return &g
+}
+
+// NewState is New by value: rearming a long-lived generator in place (sweep
+// arenas reseed their adversaries once per execution) costs no heap
+// allocation. The stream is identical to New(seed)'s.
+func NewState(seed uint64) SplitMix64 {
+	return SplitMix64{state: mix64(seed), gamma: goldenGamma}
 }
 
 // Derive returns a generator whose stream is a deterministic function of
@@ -99,6 +113,11 @@ func (s *SplitMix64) Intn(n int) int {
 		panic("rng: Intn called with n <= 0")
 	}
 	return int(s.Uint64n(uint64(n)))
+}
+
+// Float64 returns a uniform value in [0, 1) with 53 bits of precision.
+func (s *SplitMix64) Float64() float64 {
+	return float64(s.Next()>>11) / (1 << 53)
 }
 
 // Bool returns a fair coin flip.

@@ -373,6 +373,18 @@ func (p *Pool[T]) Do(fn func(px shmem.Proc, obj T)) {
 	fn(in.Proc(), in.Obj)
 }
 
+// DoKeyed is Do with an explicit shard-selection key: callers with a
+// natural operation identity (a Zipf-drawn target id, a connection id)
+// route same-key operations to the same shard, so a skewed key
+// distribution produces the hot-shard contention it would on a real
+// keyed service instead of being laundered uniform by the per-goroutine
+// hash.
+func (p *Pool[T]) DoKeyed(key uint64, fn func(px shmem.Proc, obj T)) {
+	in := p.GetKeyed(key)
+	defer in.Put()
+	fn(in.Proc(), in.Obj)
+}
+
 // Execute checks an instance out, runs one k-process execution against it,
 // recycles it (also on panic), and returns the execution's accounting.
 // The returned Stats are a private copy: the instance's reusable record

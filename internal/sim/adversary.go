@@ -26,6 +26,13 @@ func NewRoundRobinBurst(burst int) *RoundRobin {
 	return &RoundRobin{Burst: burst}
 }
 
+// Rewind rearms the schedule in place for another run, identical to a fresh
+// NewRoundRobin/NewRoundRobinBurst with the same Burst. Schedules carry
+// state, so a reused runtime (sim.WithReuse) needs either a fresh adversary
+// or an in-place rewind per run; the rewind is what keeps sweep arenas
+// allocation-free.
+func (a *RoundRobin) Rewind() { a.cursor = 0 }
+
 // Choose picks the next ready process at or after the cursor.
 func (a *RoundRobin) Choose(v *View) Decision {
 	k := len(v.Ready)
@@ -51,6 +58,16 @@ type Random struct {
 // NewRandom returns a seeded uniform adversary.
 func NewRandom(seed uint64) *Random {
 	return &Random{rng: rng.New(seed)}
+}
+
+// Reseed rearms the schedule in place, identical to a fresh NewRandom(seed)
+// (see RoundRobin.Rewind for why in-place rearm exists).
+func (a *Random) Reseed(seed uint64) {
+	if a.rng == nil {
+		a.rng = rng.New(seed)
+		return
+	}
+	*a.rng = rng.NewState(seed)
 }
 
 // Choose samples uniformly among ready processes. The selection is
@@ -106,6 +123,9 @@ func (Sequential) NeverCrashes() {}
 // coin-race bugs in the test-and-set protocols.
 type AntiCoin struct {
 	rng *rng.SplitMix64
+	// zeros is reusable scratch for Choose, so a long-lived AntiCoin (sweep
+	// arenas rearm one per execution) decides allocation-free after warmup.
+	zeros []int
 }
 
 // NewAntiCoin returns a seeded coin-hostile adversary.
@@ -113,15 +133,25 @@ func NewAntiCoin(seed uint64) *AntiCoin {
 	return &AntiCoin{rng: rng.New(seed)}
 }
 
+// Reseed rearms the schedule in place, identical to a fresh NewAntiCoin(seed).
+func (a *AntiCoin) Reseed(seed uint64) {
+	if a.rng == nil {
+		a.rng = rng.New(seed)
+		return
+	}
+	*a.rng = rng.NewState(seed)
+}
+
 // Choose prefers ready processes whose last coin was 0; ties and the empty
 // preference set fall back to a seeded uniform choice.
 func (a *AntiCoin) Choose(v *View) Decision {
-	var zeros []int
+	zeros := a.zeros[:0]
 	for p, ok := range v.Ready {
 		if ok && v.LastCoin[p] == 0 {
 			zeros = append(zeros, p)
 		}
 	}
+	a.zeros = zeros
 	if len(zeros) > 0 {
 		return Decision{Proc: zeros[a.rng.Intn(len(zeros))]}
 	}
@@ -148,6 +178,10 @@ type Laggard struct {
 
 // NewLaggard returns an adversary that starves victim.
 func NewLaggard(victim int) *Laggard { return &Laggard{Victim: victim} }
+
+// Rewind rearms the schedule in place, identical to a fresh
+// NewLaggard(Victim).
+func (a *Laggard) Rewind() { a.inner.cursor = 0 }
 
 // Choose schedules any non-victim ready process round-robin; the victim runs
 // only when alone.
@@ -226,6 +260,10 @@ func NewOscillator(burst int) *Oscillator {
 	}
 	return &Oscillator{Burst: burst}
 }
+
+// Rewind rearms the schedule in place, identical to a fresh
+// NewOscillator with the same Burst.
+func (a *Oscillator) Rewind() { a.current = 0 }
 
 // Choose rotates to the next ready process and grants it a full burst.
 func (a *Oscillator) Choose(v *View) Decision {

@@ -184,6 +184,23 @@ type Runtime struct {
 	// where processes panicking before their first step raced on it.
 	panicVal any
 	used     bool
+
+	// reuse (WithReuse) keeps the whole run state — process coroutines,
+	// scheduler buffers, the Stats — alive across Reset, making the
+	// steady-state Reset+Run cycle allocation-free.
+	reuse bool
+	// spawned reports that r.procs holds live parked coroutines (reuse mode
+	// only); they are reaped by Close or when k changes.
+	spawned bool
+	// body is the current Run's body, read by the persistent coroutines.
+	body func(p shmem.Proc)
+	// crashProc delivers a crash decision to the process about to be
+	// resumed: the process checks it after its yield returns and unwinds
+	// via the crash sentinel, leaving its coroutine parked and reusable
+	// (stop() would terminate it for good). −1 means no crash pending.
+	crashProc int
+	// stats is the runtime-owned Stats returned by Run in reuse mode.
+	stats shmem.Stats
 }
 
 var _ shmem.Runtime = (*Runtime)(nil)
@@ -204,6 +221,26 @@ type Option func(*Runtime)
 // and against adversaries that starve termination.
 func WithStepCap(cap uint64) Option {
 	return func(r *Runtime) { r.stepCap = cap }
+}
+
+// WithReuse keeps the run state alive across Reset: the process coroutines
+// park at their end-of-body yield instead of returning, and Run rearms them —
+// together with the scheduler's view buffers, the crash vector, and a
+// runtime-owned Stats — in place when the next run has the same process
+// count. The steady-state Reset+Run cycle then allocates nothing, which is
+// what lets a sweep arena amortize run-state construction (coroutine spawns
+// dominate the per-execution floor) across thousands of executions.
+//
+// Executions are bit-identical to a non-reusing runtime: coin streams are
+// re-derived from the seed, all per-process state is cleared, and crashes are
+// delivered as an in-band signal the unwinding process consumes (so a
+// crashed process's coroutine survives for the next run).
+//
+// Two contract changes in reuse mode: the returned Stats is owned by the
+// runtime and valid only until the next Run, and a runtime whose work is done
+// must be Closed to stop the parked coroutines.
+func WithReuse() Option {
+	return func(r *Runtime) { r.reuse = true }
 }
 
 // WithTrace registers an observer invoked synchronously on every scheduling
@@ -298,14 +335,35 @@ func (r *Runtime) Reset(seed uint64, adv Adversary) {
 	r.seed = seed
 	r.adv = adv
 	r.clock = 0
-	r.view = View{}
-	r.procs = nil
-	r.crashed = nil
+	if !r.reuse {
+		r.view = View{}
+		r.procs = nil
+		r.crashed = nil
+	}
 	r.aborting = false
 	r.draining = false
 	r.hasPending = false
 	r.panicVal = nil
 	r.used = false
+}
+
+// Close stops the parked process coroutines a reusing runtime keeps between
+// runs. It must be called between runs (never while one is in flight); the
+// runtime remains usable afterwards — the next Run simply rebuilds the run
+// state. On a runtime without WithReuse it is a no-op.
+func (r *Runtime) Close() { r.reap() }
+
+// reap terminates all process coroutines and drops the proc table. stop on a
+// parked coroutine resumes it with a false yield result, which exits its
+// run loop; stop on an already-finished coroutine is a no-op.
+func (r *Runtime) reap() {
+	for i := range r.procs {
+		if r.procs[i].stop != nil {
+			r.procs[i].stop()
+		}
+	}
+	r.spawned = false
+	r.procs = nil
 }
 
 type crashSentinel struct{}
@@ -318,29 +376,56 @@ func (r *Runtime) Run(k int, body func(p shmem.Proc)) *shmem.Stats {
 		panic("sim: Runtime.Run called twice; Reset the Runtime (or allocate a fresh one) between runs")
 	}
 	r.used = true
-	r.procs = make([]proc, k)
-	r.crashed = make([]bool, k)
-	nw := (k + 63) / 64
-	u := make([]uint64, 2*k+nw) // one backing array for the uint64 columns
-	r.view = View{
-		Ready:    make([]bool, k),
-		Pending:  make([]shmem.Op, k),
-		LastCoin: u[:k:k],
-		Steps:    u[k : 2*k : 2*k],
-		bits:     u[2*k:],
+	r.body = body
+	r.crashProc = -1
+	if r.spawned && len(r.procs) == k {
+		// Reuse path: the coroutines are parked at their end-of-body yield;
+		// clear the run state in place and rearm each process.
+		for i := range r.crashed {
+			r.crashed[i] = false
+		}
+		v := &r.view
+		for i := 0; i < k; i++ {
+			v.Ready[i] = false
+			v.Pending[i] = 0
+			v.LastCoin[i] = 0
+			v.Steps[i] = 0
+		}
+		for i := range v.bits {
+			v.bits[i] = 0
+		}
+		v.NumReady = 0
+		v.Clock = 0
+	} else {
+		if r.spawned {
+			r.reap() // process count changed: spawn a fresh coroutine set
+		}
+		r.procs = make([]proc, k)
+		r.crashed = make([]bool, k)
+		nw := (k + 63) / 64
+		u := make([]uint64, 2*k+nw) // one backing array for the uint64 columns
+		r.view = View{
+			Ready:    make([]bool, k),
+			Pending:  make([]shmem.Op, k),
+			LastCoin: u[:k:k],
+			Steps:    u[k : 2*k : 2*k],
+			bits:     u[2*k:],
+		}
+		for i := range r.procs {
+			p := &r.procs[i]
+			p.id = i
+			p.rt = r
+			p.next, p.stop = iter.Pull(p.seq)
+		}
+		r.spawned = r.reuse
 	}
 	_, r.noCrash = r.adv.(NonCrashing)
 
 	for i := range r.procs {
 		p := &r.procs[i]
-		p.id = i
-		p.rt = r
-		p.rng = *rng.Derive(r.seed, uint64(i))
-		p.next, p.stop = iter.Pull(func(yield func(struct{}) bool) {
-			p.yield = yield
-			defer p.finish()
-			body(p)
-		})
+		p.rng = rng.Derived(r.seed, uint64(i))
+		p.counts = shmem.OpCounts{}
+		p.burst = 0
 	}
 
 	// Startup drain: advance every process to its first step boundary (or
@@ -375,18 +460,29 @@ func (r *Runtime) Run(k int, body func(p shmem.Proc)) *shmem.Stats {
 					Crash: true,
 				})
 			}
-			p.stop() // pending yield returns false; the process unwinds
+			// Deliver the crash in band: the process consumes crashProc when
+			// its yield returns and unwinds via the sentinel, so its
+			// coroutine survives for reuse (stop would terminate it).
+			r.crashProc = d.Proc
+			p.next()
 			continue
 		}
 		p.burst = r.grantBurst(d) - 1
 		p.next()
 	}
 
-	st := &shmem.Stats{
-		PerProc:    make([]shmem.OpCounts, k),
-		Crashed:    r.crashed,
-		StepCapHit: r.aborting,
+	var st *shmem.Stats
+	if r.reuse {
+		st = &r.stats
+		if cap(st.PerProc) < k {
+			st.PerProc = make([]shmem.OpCounts, k)
+		}
+		st.PerProc = st.PerProc[:k]
+	} else {
+		st = &shmem.Stats{PerProc: make([]shmem.OpCounts, k)}
 	}
+	st.Crashed = r.crashed
+	st.StepCapHit = r.aborting
 	for i := range r.procs {
 		st.PerProc[i] = r.procs[i].counts
 	}
@@ -446,6 +542,33 @@ type proc struct {
 	next   func() (struct{}, bool)
 	stop   func()
 	counts shmem.OpCounts
+}
+
+// seq is the coroutine body. Without reuse it runs the current Run's body
+// once and returns. With reuse it parks at the trailing yield after each
+// body, so the next Run resumes the same coroutine with a fresh body —
+// run-state construction (the dominant per-execution cost, see BENCHMARKS.md)
+// is paid once per runtime instead of once per run. The park yield returns
+// false when the coroutine set is reaped (Close, or a changed process
+// count), which exits the loop.
+func (p *proc) seq(yield func(struct{}) bool) {
+	p.yield = yield
+	for {
+		p.runBody()
+		if !p.rt.reuse {
+			return
+		}
+		if !yield(struct{}{}) {
+			return
+		}
+	}
+}
+
+// runBody runs one execution's body with the exit classifier deferred, so a
+// crash sentinel or body panic unwinds to here and the coroutine survives.
+func (p *proc) runBody() {
+	defer p.finish()
+	p.rt.body(p)
 }
 
 // finish runs as the coroutine body's deferred epilogue: it classifies the
@@ -510,7 +633,13 @@ func (p *proc) Step(op shmem.Op) {
 		r.pending, r.hasPending = d, true
 	}
 	if !p.yield(struct{}{}) {
-		panic(crashSentinel{}) // scheduler called stop: crash decision
+		panic(crashSentinel{}) // reaped mid-run (Close): unwind as a crash
+	}
+	if r.crashProc == p.id {
+		// The scheduler's crash decision, delivered in band. The vetoed
+		// step never happens: unwind before any accounting.
+		r.crashProc = -1
+		panic(crashSentinel{})
 	}
 	p.account(op)
 }

@@ -1,0 +1,75 @@
+package sweep
+
+import "sync/atomic"
+
+// deque is a Chase-Lev-style work-stealing deque over task indices. The
+// owning worker pushes and pops at the bottom; thieves steal from the top
+// with a CAS. top and bottom sit on separate cache lines so steals do not
+// bounce the owner's line.
+//
+// The engine sizes the buffer for the whole task load and enqueues every
+// task before the workers start, so the buffer never wraps while thieves
+// are active and slot reuse (the classic growth hazard) cannot occur;
+// entries are published to the stealing goroutines by the go statements
+// that start them.
+type deque struct {
+	top    atomic.Int64
+	_      [7]int64 // pad: keep thieves' CAS line away from the owner's
+	bottom atomic.Int64
+	_      [7]int64
+	buf    []int32
+	mask   int64
+}
+
+// newDeque returns a deque holding at least capacity entries.
+func newDeque(capacity int) *deque {
+	n := 1
+	for n < capacity {
+		n <<= 1
+	}
+	return &deque{buf: make([]int32, n), mask: int64(n) - 1}
+}
+
+// push appends a task at the bottom (owner only).
+func (d *deque) push(t int32) {
+	b := d.bottom.Load()
+	d.buf[b&d.mask] = t
+	d.bottom.Store(b + 1)
+}
+
+// pop removes the bottom task (owner only). On the last element it races
+// the thieves with a CAS on top; the loser sees an empty deque.
+func (d *deque) pop() (int32, bool) {
+	b := d.bottom.Load() - 1
+	d.bottom.Store(b)
+	t := d.top.Load()
+	if t > b {
+		// Empty: restore bottom.
+		d.bottom.Store(t)
+		return 0, false
+	}
+	v := d.buf[b&d.mask]
+	if b > t {
+		return v, true
+	}
+	// Single element left: win it against concurrent steals or lose it.
+	ok := d.top.CompareAndSwap(t, t+1)
+	d.bottom.Store(t + 1)
+	return v, ok
+}
+
+// steal removes the top task (any thief). It retries internally when it
+// loses the CAS race to another thief or the owner.
+func (d *deque) steal() (int32, bool) {
+	for {
+		t := d.top.Load()
+		b := d.bottom.Load()
+		if t >= b {
+			return 0, false
+		}
+		v := d.buf[t&d.mask]
+		if d.top.CompareAndSwap(t, t+1) {
+			return v, true
+		}
+	}
+}

@@ -1,0 +1,99 @@
+package sweep
+
+import "fmt"
+
+// Regression is a worst-case schedule a past sweep harvested, frozen as a
+// permanent check: the (seed, advSeed, plan) triple reconstructs the exact
+// execution, and the pinned step and decision counts fail loudly if any
+// change to the simulator, the adversaries, or the algorithms perturbs it.
+// A step-complexity improvement legitimately lowers WantMaxSteps — update
+// the pin with the new harvest, don't widen it.
+type Regression struct {
+	Name   string
+	Object string
+	// Seed is the runtime coin seed; AdvSeed seeds the Random adversary's
+	// decision stream (search mode explores Random schedules).
+	Seed    uint64
+	AdvSeed uint64
+	Plan    []CrashAt
+	// WantMaxSteps pins the maximum per-process step count.
+	WantMaxSteps uint64
+	// WantDecisions pins the recorded schedule length (steps + crashes).
+	WantDecisions int
+}
+
+// Regressions returns the frozen worst cases, harvested by annealing
+// search (Options{SearchIters: 250, Chains: 4} over seeds 1..2).
+func Regressions() []Regression {
+	return []Regression{
+		{
+			Name:          "rename8-worst",
+			Object:        "rename8",
+			Seed:          1,
+			AdvSeed:       0x0828f3a2b90d0357,
+			Plan:          []CrashAt{{Proc: 3, Step: 45}},
+			WantMaxSteps:  101,
+			WantDecisions: 364,
+		},
+		{
+			Name:          "counter8-worst",
+			Object:        "counter8",
+			Seed:          1,
+			AdvSeed:       0x0e1e92485dd68efe,
+			WantMaxSteps:  206,
+			WantDecisions: 992,
+		},
+		{
+			Name:          "bitbatch64-worst",
+			Object:        "bitbatch64",
+			Seed:          2,
+			AdvSeed:       0xe0f83a6f3f99a425,
+			Plan:          []CrashAt{{Proc: 2, Step: 35}, {Proc: 7, Step: 37}},
+			WantMaxSteps:  29,
+			WantDecisions: 68,
+		},
+	}
+}
+
+// RunRegression re-records reg's schedule through the execution layer,
+// checks validity, verifies the replay, and compares the pinned counts.
+func RunRegression(reg Regression) (Harvest, error) {
+	obj, ok := ObjectByName(reg.Object)
+	if !ok {
+		return Harvest{}, fmt.Errorf("sweep: regression %s: unknown object %q", reg.Name, reg.Object)
+	}
+	if len(reg.Plan) > maxPlanCrashes {
+		return Harvest{}, fmt.Errorf("sweep: regression %s: plan too long", reg.Name)
+	}
+	s := &Sweep{
+		space: &Space{
+			Objects: []ObjectSpec{obj},
+			Advs:    DefaultAdvs(),
+			Plans:   DefaultPlans(),
+			Seeds:   []uint64{reg.Seed},
+		},
+		opts: Options{}.withDefaults(),
+	}
+	ref := runRef{
+		steps:   reg.WantMaxSteps,
+		seed:    reg.Seed,
+		advIdx:  -1,
+		advSeed: reg.AdvSeed,
+		planIdx: -1,
+		nPlan:   int32(len(reg.Plan)),
+	}
+	copy(ref.plan[:], reg.Plan)
+
+	h := s.harvestRef(0, ref, "regression")
+	switch {
+	case !h.SourceMatch:
+		return h, fmt.Errorf("sweep: regression %s: max steps diverged from the pinned %d", reg.Name, reg.WantMaxSteps)
+	case h.Decisions != reg.WantDecisions:
+		return h, fmt.Errorf("sweep: regression %s: %d decisions, want %d", reg.Name, h.Decisions, reg.WantDecisions)
+	case h.CheckErr != "":
+		return h, fmt.Errorf("sweep: regression %s: validity: %s", reg.Name, h.CheckErr)
+	case !h.ReplayIdentical:
+		return h, fmt.Errorf("sweep: regression %s: replay diverged from record", reg.Name)
+	}
+	return h, nil
+}

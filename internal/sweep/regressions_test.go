@@ -1,0 +1,38 @@
+package sweep
+
+import "testing"
+
+// TestRegressions re-records every frozen worst-case schedule and checks
+// it still reproduces its pinned step and decision counts, passes the
+// validity checkers, and replays bit-identically through sim.FromTrace.
+func TestRegressions(t *testing.T) {
+	regs := Regressions()
+	if len(regs) == 0 {
+		t.Fatal("no frozen regressions")
+	}
+	for _, reg := range regs {
+		h, err := RunRegression(reg)
+		if err != nil {
+			t.Errorf("%s: %v", reg.Name, err)
+			continue
+		}
+		if h.Why != "regression" {
+			t.Errorf("%s: why = %q", reg.Name, h.Why)
+		}
+	}
+}
+
+// TestRegressionDetectsDrift corrupts a pin and checks RunRegression
+// actually fails — the regression harness must not vacuously pass.
+func TestRegressionDetectsDrift(t *testing.T) {
+	reg := Regressions()[0]
+	reg.WantMaxSteps++
+	if _, err := RunRegression(reg); err == nil {
+		t.Fatal("corrupted step pin passed")
+	}
+	reg = Regressions()[0]
+	reg.WantDecisions--
+	if _, err := RunRegression(reg); err == nil {
+		t.Fatal("corrupted decision pin passed")
+	}
+}

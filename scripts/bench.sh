@@ -15,8 +15,12 @@
 # and churn catalog scenarios; BENCH_6.json is the record of the phased
 # counting PR — the Phased*Throughput rows (auto/joined/split vs the
 # SharedAACInc baseline), the PhasedInc serial A/B legs, and the phased /
-# phased-churn scenario rows. scripts/bench_gate.sh compares consecutive
-# records and fails CI on regressions in shared rows).
+# phased-churn scenario rows; BENCH_7.json is the record of the sweep
+# engine PR — the BenchmarkSweepExec* three-way amortization legs
+# (arena reuse vs instantiate-per-run vs fresh-build) and the
+# SweepThroughput -cpu rows, plus the skew scenario row.
+# scripts/bench_gate.sh compares consecutive records and fails CI on
+# regressions in shared rows).
 #
 # Three passes feed one results array:
 #
@@ -48,10 +52,10 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 benchtime="${BENCHTIME:-2s}"
-pattern="${BENCH:-BenchmarkStrongAdaptive\$|BenchmarkStrongAdaptiveHardware|BenchmarkNativeRenaming\$|BenchmarkNativeRenamingFaultArmed|BenchmarkNativeRenamingRecorded|BenchmarkNativeCounter|BenchmarkFreshBuild|BenchmarkInstantiate|BenchmarkCompileCold|BenchmarkBitBatching\$|BenchmarkPhasedInc|BenchmarkAACIncSerial}"
+pattern="${BENCH:-BenchmarkStrongAdaptive\$|BenchmarkStrongAdaptiveHardware|BenchmarkNativeRenaming\$|BenchmarkNativeRenamingFaultArmed|BenchmarkNativeRenamingRecorded|BenchmarkNativeCounter|BenchmarkFreshBuild|BenchmarkInstantiate|BenchmarkCompileCold|BenchmarkBitBatching\$|BenchmarkPhasedInc|BenchmarkAACIncSerial|BenchmarkSweepExec}"
 parpattern="${PARBENCH:-Throughput}"
 cpus="${CPUS:-1,2,4}"
-scenarios="${SCENARIOS:-steady,burst,churn,phased,phased-churn}"
+scenarios="${SCENARIOS:-steady,burst,churn,phased,phased-churn,skew}"
 scendur="${SCENDUR:-3s}"
 
 n=1
