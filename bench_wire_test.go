@@ -1,0 +1,99 @@
+package renaming_test
+
+// The wire-protocol benchmark suite: the loopback cost of serving
+// operations over the batched binary protocol (internal/wire +
+// internal/netserve), swept by batch size. Reported ns/op is per
+// OPERATION, not per frame — the loop below issues b.N ops in frames of
+// the given batch size — so the batch sweep reads directly as the syscall
+// amortization curve: batch=1 pays the full two-syscall round trip per
+// op; batch=64 spreads it over 64 ops. The in-process counterpart rows
+// (BenchmarkPoolRenameThroughput etc.) bound the wire overhead from
+// below; BENCHMARKS.md "The wire protocol" holds the comparison table.
+
+import (
+	"fmt"
+	"net"
+	"testing"
+	"time"
+
+	renaming "repro"
+)
+
+// newWireBench starts a loopback server and one pipelining client.
+func newWireBench(b *testing.B) *renaming.WireClient {
+	b.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		b.Fatalf("listen: %v", err)
+	}
+	srv := renaming.ServeWire(ln, nil)
+	c, err := renaming.DialWire(srv.Addr().String(), 2*time.Second)
+	if err != nil {
+		b.Fatalf("dial: %v", err)
+	}
+	b.Cleanup(func() {
+		c.Close()
+		srv.Close()
+	})
+	return c
+}
+
+// benchWireBatch issues b.N operations in frames of the given batch size
+// through one explicit batch (Commit = one request frame, one reply
+// frame), so ns/op is the amortized per-operation wire cost.
+func benchWireBatch(b *testing.B, batch int, add func(bt *renaming.WireBatch, i int)) {
+	c := newWireBench(b)
+	bt := c.NewBatch()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for done := 0; done < b.N; {
+		n := batch
+		if rem := b.N - done; n > rem {
+			n = rem
+		}
+		bt.Reset()
+		for i := 0; i < n; i++ {
+			add(bt, i)
+		}
+		if _, err := bt.Commit(); err != nil {
+			b.Fatal(err)
+		}
+		done += n
+	}
+}
+
+// BenchmarkWireRename is the headline batch-size sweep: renames over the
+// loopback wire at batch 1, 8, and 64.
+func BenchmarkWireRename(b *testing.B) {
+	for _, batch := range []int{1, 8, 64} {
+		b.Run(fmt.Sprintf("batch=%d", batch), func(b *testing.B) {
+			benchWireBatch(b, batch, func(bt *renaming.WireBatch, i int) {
+				bt.Rename(uint64(i & 7))
+			})
+		})
+	}
+}
+
+// BenchmarkWireCounterInc is the counter path over the wire at a working
+// batch size.
+func BenchmarkWireCounterInc(b *testing.B) {
+	benchWireBatch(b, 8, func(bt *renaming.WireBatch, i int) {
+		bt.Inc(uint64(i & 7))
+	})
+}
+
+// BenchmarkWirePipelinedDo measures the group-commit path: concurrent Do
+// callers coalesce into shared frames, so the per-op cost falls as
+// parallelism rises — the adaptive version of the explicit batch sweep.
+func BenchmarkWirePipelinedDo(b *testing.B) {
+	c := newWireBench(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			if _, err := c.Do(renaming.WireRename, 3); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

@@ -20,10 +20,18 @@
 //
 // Usage:
 //
+// With -addr the generators drive a renameserve wire server instead of
+// in-process pools: the same scenarios, the same scheduled-arrival latency
+// accounting, but every operation crosses the batched binary wire protocol
+// (native runtime only; fault plans are an in-process arming surface and
+// do not travel over the wire).
+//
+// Usage:
+//
 //	renameload -list
 //	renameload [-scenario churn] [-rate R] [-duration D] [-workers N]
 //	           [-ops N] [-seed S] [-faults 1@8,3@20|none] [-runtime sim]
-//	           [-json] [-gobench]
+//	           [-addr host:port] [-json] [-gobench]
 package main
 
 import (
@@ -46,6 +54,7 @@ func main() {
 	ops := flag.Uint64("ops", 0, "override the op budget (sim mode: the exact budget)")
 	seed := flag.Uint64("seed", 0, "override the scenario seed (sim mode: the replay seed)")
 	faults := flag.String("faults", "", "override the fault plan: p@s,p@s crashes process p after s completed steps of each wave; 'none' disarms the scenario's plan")
+	addr := flag.String("addr", "", "drive a renameserve wire server at this address instead of in-process pools (native runtime only)")
 	jsonOut := flag.Bool("json", false, "emit the report as JSON")
 	gobench := flag.Bool("gobench", false, "emit one go-bench-style result line (scripts/bench.sh folds these into BENCH_<n>.json)")
 	flag.Parse()
@@ -99,10 +108,24 @@ func main() {
 	}
 
 	var r *renaming.LoadReport
-	switch *runtimeName {
-	case "native":
+	switch {
+	case *addr != "" && *runtimeName != "native":
+		fmt.Fprintln(os.Stderr, "renameload: -addr drives a live server and needs the native runtime (drop -runtime sim)")
+		os.Exit(2)
+	case *addr != "":
+		if s.Faults != nil {
+			fmt.Fprintln(os.Stderr, "renameload: note: fault plans do not travel over the wire; remote waves run fault-free")
+			s.Faults = nil
+		}
+		var err error
+		r, err = renaming.RunScenarioWire(s, *addr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "renameload:", err)
+			os.Exit(1)
+		}
+	case *runtimeName == "native":
 		r = renaming.RunScenario(s, nil)
-	case "sim":
+	case *runtimeName == "sim":
 		// Runs twice; the report's verdict fails unless the runs match
 		// bit-for-bit modulo wall clock — the determinism contract.
 		r, _ = renaming.SimReplayMatches(s, s.Seed)

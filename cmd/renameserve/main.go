@@ -1,0 +1,51 @@
+// Command renameserve runs the networked serving tier: the batched binary
+// wire protocol (internal/wire) served over TCP against the sharded
+// serving pools (internal/serve, internal/phase). cmd/renameload -addr
+// drives it with the full scenario catalog; any connection that starts
+// with "GET " receives a plain-text metrics dump (pool in-flight and retry
+// gauges, phased-counter mode, merged op-latency quantiles), so
+//
+//	curl http://<addr>/metrics
+//
+// works against the same port the wire protocol is served on.
+//
+// The process stops on SIGINT/SIGTERM: the listener and all open
+// connections close, in-flight batches are abandoned (clients see their
+// typed drop error), and the final metrics dump is printed.
+//
+// Usage:
+//
+//	renameserve [-addr 127.0.0.1:7411] [-seed S] [-quiet]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+
+	renaming "repro"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:7411", "TCP listen address")
+	seed := flag.Uint64("seed", 1, "pool seed (derives every instance's coin streams)")
+	quiet := flag.Bool("quiet", false, "skip the metrics dump on shutdown")
+	flag.Parse()
+
+	srv, err := renaming.ListenWire(*addr, renaming.NewLoadTarget(*seed))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "renameserve:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("renameserve: listening on %s\n", srv.Addr())
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	srv.Close()
+	if !*quiet {
+		fmt.Print(srv.MetricsText())
+	}
+}

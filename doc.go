@@ -211,6 +211,40 @@
 // "phased-churn" catalog scenarios run this machinery under bursty load
 // and under churn with crashes landing mid-reconciliation.
 //
+// # Networked serving
+//
+// The wire tier puts the sharded pools behind a socket: ListenWire serves
+// a batched, length-prefixed binary protocol (rename, counter inc/read,
+// phased-counter verbs, k-process execution waves), and DialWire returns
+// a pipelining client that keeps many batches in flight per connection,
+// correlated by sequence number out of one reader loop:
+//
+//	srv, _ := renaming.ListenWire("127.0.0.1:7411", renaming.NewLoadTarget(1))
+//	c, _ := renaming.DialWire("127.0.0.1:7411", time.Second)
+//	name, _ := c.Do(renaming.WireRename, key)          // group-committed
+//	vals, _ := c.NewBatch().Inc(3).Inc(3).Read(3).Commit() // explicit batch
+//
+// The frame is the unit of everything: one request batch is one write
+// syscall, one server decode, and one reply frame, so the per-round-trip
+// costs that dominate off-box serving amortize over the batch (the
+// loopback sweep in BENCHMARKS.md "The wire protocol" measures the
+// curve). Concurrent Do callers group-commit — whoever finds no flush in
+// progress drains the shared queue into one frame — so batch size tracks
+// the instantaneous concurrency with no timers to tune. The server's
+// steady-state request path (zero-copy decode into a per-connection
+// buffer, pooled execution via the keyed shard checkout, coalesced reply
+// writes) performs zero allocations per operation, pinned the same way as
+// every other hot path here. Batches carry an optional relative deadline
+// budget; a batch the server cannot finish in budget fails typed
+// (WireError) instead of stretching the tail, and a dropped connection
+// fails its in-flight tail typed too (WireDroppedError).
+//
+// RunScenarioWire (and cmd/renameload -addr) drives the full scenario
+// catalog through this path with the open-loop scheduling and
+// coordinated-omission accounting unchanged, against cmd/renameserve on
+// the other side; any connection starting with "GET " gets a plain-text
+// metrics dump of the pools' live gauges instead of the binary protocol.
+//
 // # Schedule sweeps
 //
 // The sweep engine (NewSweep, cmd/renamesweep) turns the deterministic

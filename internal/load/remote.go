@@ -1,0 +1,48 @@
+package load
+
+// RemoteOp identifies one operation kind a remote transport can carry. The
+// set mirrors the scenario mix (rename, counter inc/read, waves) plus the
+// shared phased counter's three verbs, so every catalog scenario can run
+// unchanged over a wire.
+type RemoteOp int
+
+const (
+	// RemoteRename is one rename routed by key.
+	RemoteRename RemoteOp = iota
+	// RemoteInc is one pooled-counter increment routed by key.
+	RemoteInc
+	// RemoteRead is one pooled-counter read routed by key.
+	RemoteRead
+	// RemoteWave is one k-process execution wave (k in the k argument).
+	RemoteWave
+	// RemotePhasedInc increments the shared phased counter.
+	RemotePhasedInc
+	// RemotePhasedRead reads the shared phased counter (fast path).
+	RemotePhasedRead
+	// RemotePhasedReadStrict reads the phased counter with reconciliation.
+	RemotePhasedReadStrict
+)
+
+// Remote is a transport that executes one operation against a remote
+// serving tier and blocks for its result. The wire client
+// (internal/netserve) implements it; RunRemote drives the same open- and
+// closed-loop generators over it that Run drives over in-process pools,
+// with the scheduled-arrival latency accounting unchanged — so wire and
+// in-process runs of one scenario are directly comparable.
+//
+// key is the shard routing key for the per-op kinds; k is the wave width
+// for RemoteWave. Implementations must be safe for concurrent use — every
+// generator worker calls Op from its own goroutine.
+type Remote interface {
+	Op(kind RemoteOp, key uint64, k int) (uint64, error)
+}
+
+// RunRemote executes scenario s against rem — the wire path's counterpart
+// of Run. Latency is measured exactly as in-process: from the scheduled
+// arrival on open-loop scenarios (coordinated-omission correction
+// included), so the reported quantiles absorb the round trips and any
+// server-side queueing. Failed remote operations are counted in
+// Report.RemoteErrs and fail the verdict.
+func RunRemote(s Scenario, rem Remote) *Report {
+	return run(s, nil, rem)
+}

@@ -47,9 +47,14 @@ type PhaseReport struct {
 type Report struct {
 	Scenario string `json:"scenario"`
 	Runtime  string `json:"runtime"` // "native" or "sim"
-	Seed     uint64 `json:"seed"`
-	Workers  int    `json:"workers"`
-	Arrival  string `json:"arrival"`
+	// Transport is set when the run went over a remote transport ("wire");
+	// empty for in-process runs. RemoteErrs counts remote operations that
+	// failed (any nonzero count fails the verdict).
+	Transport  string `json:"transport,omitempty"`
+	RemoteErrs uint64 `json:"remote_errs,omitempty"`
+	Seed       uint64 `json:"seed"`
+	Workers    int    `json:"workers"`
+	Arrival    string `json:"arrival"`
 	// Unit is the latency unit of the quantile fields: "ns" (native) or
 	// "steps" (simulator).
 	Unit string `json:"unit"`
@@ -108,6 +113,9 @@ func (r *Report) check() string {
 	if r.Ops == 0 {
 		return "suspect: no operations completed"
 	}
+	if r.RemoteErrs > 0 {
+		return fmt.Sprintf("suspect: %d remote operations failed", r.RemoteErrs)
+	}
 	rows := append(append([]PhaseReport(nil), r.Phases...), r.Total)
 	for _, ph := range rows {
 		if ph.Ops == 0 {
@@ -154,8 +162,12 @@ func (r *Report) JSON() []byte {
 // Fprint renders the report as an aligned text table (the renameload and
 // examples/loadtest output).
 func (r *Report) Fprint(w io.Writer) {
+	rt := r.Runtime
+	if r.Transport != "" {
+		rt += "/" + r.Transport
+	}
 	fmt.Fprintf(w, "scenario %s (%s, %s arrivals, %d workers, seed %d)\n",
-		r.Scenario, r.Runtime, r.Arrival, r.Workers, r.Seed)
+		r.Scenario, rt, r.Arrival, r.Workers, r.Seed)
 	fmt.Fprintf(w, "  %d ops in %.2fs", r.Ops, r.ElapsedSec)
 	if r.OfferedOpsSec > 0 {
 		fmt.Fprintf(w, " — offered %.0f ops/s, achieved %.0f ops/s", r.OfferedOpsSec, r.AchievedOpsSec)
@@ -242,6 +254,10 @@ func lateStr(ns uint64) string {
 // steps on the simulator).
 func (r *Report) GoBenchRow() string {
 	u := r.Unit
+	name := r.Scenario
+	if r.Transport != "" {
+		name += "/" + r.Transport
+	}
 	return fmt.Sprintf("BenchmarkScenario/%s \t %d \t %.1f offered_ops/s \t %.1f achieved_ops/s \t %d p50-%s \t %d p99-%s \t %d p999-%s \t %d crashes",
-		r.Scenario, r.Ops, r.OfferedOpsSec, r.AchievedOpsSec, r.Total.P50, u, r.Total.P99, u, r.Total.P999, u, r.Crashes)
+		name, r.Ops, r.OfferedOpsSec, r.AchievedOpsSec, r.Total.P50, u, r.Total.P99, u, r.Total.P999, u, r.Crashes)
 }

@@ -124,8 +124,15 @@ func (w *worker) observe(class int, lat uint64, late uint64) {
 // the measured latency distributions. tg may be shared across runs; nil
 // builds a fresh NewTarget(s.Seed).
 func Run(s Scenario, tg *Target) *Report {
+	return run(s, tg, nil)
+}
+
+// run is the shared native runner: ops go to tg's pools in-process, or —
+// when rem is non-nil — over the remote transport (tg is then unused and
+// may be nil; the pools live behind the wire).
+func run(s Scenario, tg *Target, rem Remote) *Report {
 	s = s.withDefaults()
-	if tg == nil {
+	if tg == nil && rem == nil {
 		tg = NewTarget(s.Seed)
 	}
 	prof := buildProfile(s.Arrival, s.Duration)
@@ -154,26 +161,30 @@ func Run(s Scenario, tg *Target) *Report {
 	// run-level peak cannot under-report just because every wave finished
 	// between two sampler ticks.
 	var waveExtra, maxWaveK atomic.Int64
-	var crashes atomic.Uint64
+	var crashes, remoteErrs atomic.Uint64
 	ks := newKSampler(len(prof.classes))
 	stopSampler := make(chan struct{})
 	var samplerWG sync.WaitGroup
-	samplerWG.Add(1)
-	go func() {
-		defer samplerWG.Done()
-		tick := time.NewTicker(2 * time.Millisecond)
-		defer tick.Stop()
-		start := time.Now()
-		for {
-			select {
-			case <-stopSampler:
-				return
-			case <-tick.C:
-				k := tg.Rename.InFlight() + tg.Counter.InFlight() + int(waveExtra.Load())
-				ks.sample(prof.classAt(time.Since(start).Seconds()), k)
+	if tg != nil {
+		// Remote runs have no local pools to sample; the server exports the
+		// same gauges through its metrics endpoint instead.
+		samplerWG.Add(1)
+		go func() {
+			defer samplerWG.Done()
+			tick := time.NewTicker(2 * time.Millisecond)
+			defer tick.Stop()
+			start := time.Now()
+			for {
+				select {
+				case <-stopSampler:
+					return
+				case <-tick.C:
+					k := tg.Rename.InFlight() + tg.Counter.InFlight() + int(waveExtra.Load())
+					ks.sample(prof.classAt(time.Since(start).Seconds()), k)
+				}
 			}
-		}
-	}()
+		}()
+	}
 
 	perWorkerBudget := uint64(0)
 	if s.Ops > 0 {
@@ -186,7 +197,7 @@ func Run(s Scenario, tg *Target) *Report {
 		wg.Add(1)
 		go func(w *worker) {
 			defer wg.Done()
-			g := &gauges{waveExtra: &waveExtra, maxWaveK: &maxWaveK, crashes: &crashes}
+			g := &gauges{waveExtra: &waveExtra, maxWaveK: &maxWaveK, crashes: &crashes, rem: rem, errs: &remoteErrs}
 			if w.sc != nil {
 				runOpenLoop(&s, tg, w, start, perWorkerBudget, g)
 			} else {
@@ -199,14 +210,25 @@ func Run(s Scenario, tg *Target) *Report {
 	close(stopSampler)
 	samplerWG.Wait()
 
-	return buildReport(&s, prof, workers, elapsed, "native", "ns", crashes.Load(), ks, int(maxWaveK.Load()))
+	r := buildReport(&s, prof, workers, elapsed, "native", "ns", crashes.Load(), ks, int(maxWaveK.Load()))
+	if rem != nil {
+		// The wire client is the only Remote today; tag the rows so the
+		// bench trajectory can tell wire runs from in-process runs.
+		r.Transport = "wire"
+		r.RemoteErrs = remoteErrs.Load()
+		r.Verdict = r.check()
+	}
+	return r
 }
 
-// gauges bundles the run-wide shared counters the op path updates.
+// gauges bundles the run-wide shared counters the op path updates, plus
+// the remote transport when the run goes over a wire.
 type gauges struct {
 	waveExtra *atomic.Int64
 	maxWaveK  *atomic.Int64
 	crashes   *atomic.Uint64
+	rem       Remote
+	errs      *atomic.Uint64
 }
 
 // runOpenLoop issues operations at the worker's scheduled arrival times.
@@ -274,6 +296,10 @@ func runClosedLoop(s *Scenario, tg *Target, w *worker, prof *profile, start time
 // measure. (The shared phased counter has no per-target identity, so
 // phased Inc/Read ignore the key.)
 func runOp(s *Scenario, tg *Target, kind opKind, at float64, key uint64, keyed bool, g *gauges) {
+	if g.rem != nil {
+		runRemoteOp(s, kind, at, key, g)
+		return
+	}
 	switch kind {
 	case opRename:
 		if keyed {
@@ -314,6 +340,45 @@ func runOp(s *Scenario, tg *Target, kind opKind, at float64, key uint64, keyed b
 			g.crashes.Add(runWave(tg.Rename, k, s.Faults))
 		}
 		g.waveExtra.Add(int64(1 - k))
+	}
+}
+
+// runRemoteOp executes one operation over the remote transport. The keyed
+// routing contract carries through: the drawn target rides the wire as the
+// op argument and lands on the server's keyed shard checkout, so a
+// Zipf-hot key contends on one shard there exactly as it would in-process.
+// Failures are counted (they fail the verdict); the op still lands in the
+// latency distribution — a failed round trip is still a round trip the
+// client waited for.
+func runRemoteOp(s *Scenario, kind opKind, at float64, key uint64, g *gauges) {
+	var err error
+	switch kind {
+	case opRename:
+		_, err = g.rem.Op(RemoteRename, key, 0)
+	case opInc:
+		if s.Phased {
+			_, err = g.rem.Op(RemotePhasedInc, 0, 0)
+		} else {
+			_, err = g.rem.Op(RemoteInc, key, 0)
+		}
+	case opRead:
+		if s.Phased {
+			_, err = g.rem.Op(RemotePhasedRead, 0, 0)
+		} else {
+			_, err = g.rem.Op(RemoteRead, key, 0)
+		}
+	case opWave:
+		k := s.kAt(at)
+		for {
+			cur := g.maxWaveK.Load()
+			if int64(k) <= cur || g.maxWaveK.CompareAndSwap(cur, int64(k)) {
+				break
+			}
+		}
+		_, err = g.rem.Op(RemoteWave, 0, k)
+	}
+	if err != nil {
+		g.errs.Add(1)
 	}
 }
 

@@ -1,0 +1,113 @@
+package netserve
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"strings"
+	"time"
+
+	"repro/internal/phase"
+	"repro/internal/serve"
+	"repro/internal/wire"
+)
+
+// serveMetrics answers a "GET ..." connection with a plain-text metrics
+// dump and closes it — the first slice of the observability surface. The
+// gauges are the ones the system already maintains allocation-free (pool
+// in-flight/retry counters, phased-counter mode and lag, the merged per-op
+// service-time histogram); this endpoint only formats them, so scraping
+// costs the serving path nothing beyond one histogram fold.
+//
+// The format is the Prometheus text convention (name{labels} value), which
+// is also trivially greppable from CI and curl.
+func (s *Server) serveMetrics(conn net.Conn, r *bufio.Reader) {
+	// Drain the request head (bounded) so the peer can write it fully
+	// before we respond; the path is ignored — every GET gets the dump.
+	conn.SetReadDeadline(time.Now().Add(2 * time.Second))
+	for {
+		line, err := r.ReadString('\n')
+		if err != nil || line == "\r\n" || line == "\n" {
+			break
+		}
+	}
+
+	var b strings.Builder
+	s.writeMetrics(&b)
+	conn.SetWriteDeadline(time.Now().Add(2 * time.Second))
+	fmt.Fprintf(conn, "HTTP/1.0 200 OK\r\nContent-Type: text/plain; charset=utf-8\r\nContent-Length: %d\r\n\r\n%s",
+		b.Len(), b.String())
+}
+
+var opLabels = [8]string{"", "rename", "inc", "read", "wave", "phased_inc", "phased_read", "phased_read_strict"}
+
+// writeMetrics formats the full dump (shared by the GET handler and tests).
+func (s *Server) writeMetrics(b *strings.Builder) {
+	// Snapshot the merged shards. The sessions' private deltas since their
+	// last fold are invisible here — a scrape is a monitoring sample, not
+	// a linearizable snapshot (same contract as Pool.InFlight).
+	s.hmu.Lock()
+	h := s.hist
+	ops := s.ops
+	s.hmu.Unlock()
+
+	fmt.Fprintf(b, "netserve_conns_open %d\n", s.conns.Load())
+	fmt.Fprintf(b, "netserve_conns_accepted_total %d\n", s.accepted.Load())
+	fmt.Fprintf(b, "netserve_frames_total %d\n", s.frames.Load())
+	fmt.Fprintf(b, "netserve_protocol_errors_total %d\n", s.errs.Load())
+	fmt.Fprintf(b, "netserve_bytes_in_total %d\n", s.bytesIn.Load())
+	fmt.Fprintf(b, "netserve_bytes_out_total %d\n", s.bytesOut.Load())
+	var total uint64
+	for code, n := range ops {
+		if opLabels[code] == "" {
+			continue
+		}
+		fmt.Fprintf(b, "netserve_ops_total{op=%q} %d\n", opLabels[code], n)
+		total += n
+	}
+	fmt.Fprintf(b, "netserve_ops_total_all %d\n", total)
+
+	writePool(b, "rename", s.tg.Rename.Stats())
+	writePool(b, "counter", s.tg.Counter.Stats())
+
+	pst := s.tg.Phased.Stats()
+	mode := 0
+	if pst.Mode == phase.Split {
+		mode = 1
+	}
+	fmt.Fprintf(b, "phased_mode %d\n", mode)
+	fmt.Fprintf(b, "phased_switches_total %d\n", pst.Switches)
+	fmt.Fprintf(b, "phased_merges_total %d\n", pst.Merges)
+	fmt.Fprintf(b, "phased_ops_total %d\n", pst.Ops)
+	fmt.Fprintf(b, "phased_lease_retries_total %d\n", pst.LeaseRetries)
+	fmt.Fprintf(b, "phased_inflight %d\n", pst.InFlight)
+	fmt.Fprintf(b, "phased_lag %d\n", pst.Lag)
+
+	fmt.Fprintf(b, "netserve_op_latency_ns_count %d\n", h.Count())
+	if h.Count() > 0 {
+		for _, q := range []float64{0.5, 0.9, 0.99, 0.999} {
+			fmt.Fprintf(b, "netserve_op_latency_ns{quantile=%q} %d\n",
+				fmt.Sprintf("%g", q), h.Quantile(q))
+		}
+		fmt.Fprintf(b, "netserve_op_latency_ns_max %d\n", h.Max())
+		fmt.Fprintf(b, "netserve_op_latency_ns_mean %.1f\n", h.Mean())
+	}
+	fmt.Fprintf(b, "wire_max_ops_per_frame %d\n", wire.MaxOps)
+}
+
+func writePool(b *strings.Builder, name string, st serve.Stats) {
+	fmt.Fprintf(b, "%s_pool_shards %d\n", name, st.Shards)
+	fmt.Fprintf(b, "%s_pool_instances %d\n", name, st.Instances)
+	fmt.Fprintf(b, "%s_pool_hits_total %d\n", name, st.Hits)
+	fmt.Fprintf(b, "%s_pool_overflows_total %d\n", name, st.Overflows)
+	fmt.Fprintf(b, "%s_pool_inflight %d\n", name, st.InFlight)
+	fmt.Fprintf(b, "%s_pool_retries_total %d\n", name, st.Retries)
+}
+
+// MetricsText returns the metrics dump as a string (tests and embedders;
+// the network surface is a GET on the serving listener).
+func (s *Server) MetricsText() string {
+	var b strings.Builder
+	s.writeMetrics(&b)
+	return b.String()
+}

@@ -1,0 +1,625 @@
+package netserve
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/load"
+	"repro/internal/wire"
+)
+
+// newTestServer starts a server on a loopback ":0" listener.
+func newTestServer(t *testing.T) *Server {
+	t.Helper()
+	srv, err := ListenAndServe("127.0.0.1:0", nil)
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	return srv
+}
+
+func dialTest(t *testing.T, srv *Server) *Client {
+	t.Helper()
+	c, err := Dial(srv.Addr().String(), 2*time.Second)
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	t.Cleanup(func() { c.Close() })
+	return c
+}
+
+// waitInFlightZero polls the served pools until no instance is checked out.
+func waitInFlightZero(t *testing.T, srv *Server) {
+	t.Helper()
+	tg := srv.Target()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if tg.Rename.InFlight() == 0 && tg.Counter.InFlight() == 0 && tg.Phased.InFlight() == 0 {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("pool instances leaked: rename=%d counter=%d phased=%d",
+				tg.Rename.InFlight(), tg.Counter.InFlight(), tg.Phased.InFlight())
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestWireRoundTrip(t *testing.T) {
+	srv := newTestServer(t)
+	c := dialTest(t, srv)
+
+	name, err := c.Do(wire.OpRename, 7)
+	if err != nil {
+		t.Fatalf("rename: %v", err)
+	}
+	if name == 0 {
+		t.Fatalf("rename returned name 0")
+	}
+	if _, err := c.Do(wire.OpInc, 7); err != nil {
+		t.Fatalf("inc: %v", err)
+	}
+	if _, err := c.Do(wire.OpRead, 7); err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	if k, err := c.Do(wire.OpWave, 8); err != nil || k != 8 {
+		t.Fatalf("wave: k=%d err=%v", k, err)
+	}
+	if _, err := c.Do(wire.OpPhasedInc, 0); err != nil {
+		t.Fatalf("phased inc: %v", err)
+	}
+	v, err := c.Do(wire.OpPhasedReadStrict, 0)
+	if err != nil {
+		t.Fatalf("phased read strict: %v", err)
+	}
+	if v != 1 {
+		t.Fatalf("phased strict read = %d after one inc, want 1", v)
+	}
+
+	// An explicit batch: send, wait, values in op order. Each op checks a
+	// fresh instance out of the keyed shard (Put resets — the pool
+	// contract), so every inc returns 1 and every read returns 0, exactly
+	// as the in-process DoKeyed path behaves.
+	b := c.NewBatch().Inc(3).Inc(3).Read(3)
+	vals, err := b.Commit()
+	if err != nil {
+		t.Fatalf("batch: %v", err)
+	}
+	if len(vals) != 3 {
+		t.Fatalf("batch returned %d values, want 3", len(vals))
+	}
+	if vals[0] != 1 || vals[1] != 1 || vals[2] != 0 {
+		t.Fatalf("batch values %v, want [1 1 0] (fresh instance per checkout)", vals)
+	}
+	waitInFlightZero(t, srv)
+}
+
+// TestServeFrameAllocationFree pins the tentpole claim: the steady-state
+// server request path — decode a batch, run its ops against the pools,
+// encode the reply — performs zero allocations per frame. Waves are
+// excluded (they spawn goroutines by design), as is phased Inc: the
+// default phased spine allocates in its own Inc path in-process too (the
+// CAS spine is its alloc-free configuration), so it is a property of the
+// counter, not of the wire tier.
+func TestServeFrameAllocationFree(t *testing.T) {
+	srv := newTestServer(t)
+	ss := srv.newSession()
+
+	frame := wire.AppendBatch(nil, 1, 0, []wire.Op{
+		{Code: wire.OpRename, Arg: 11},
+		{Code: wire.OpInc, Arg: 12},
+		{Code: wire.OpRead, Arg: 12},
+		{Code: wire.OpInc, Arg: 13},
+		{Code: wire.OpPhasedRead},
+	})
+	payload := frame[4:]
+
+	// Warm the pools (first checkout per shard instantiates) and the
+	// session buffers, then pin.
+	for i := 0; i < 64; i++ {
+		ss.out = ss.serveFrame(payload, ss.out[:0])
+	}
+	allocs := testing.AllocsPerRun(1000, func() {
+		ss.out = ss.serveFrame(payload, ss.out[:0])
+	})
+	if allocs != 0 {
+		t.Fatalf("serveFrame allocates %.1f times per frame, want 0", allocs)
+	}
+
+	f, err := wire.Parse(ss.out[4:])
+	if err != nil || f.Type != wire.TReply || f.Ops() != 5 {
+		t.Fatalf("reply malformed after pinned runs: type=%#x ops=%d err=%v", f.Type, f.Ops(), err)
+	}
+}
+
+// TestReadFramePathAllocationFree pins the read side of the server loop:
+// reading a frame into the session's reusable buffer allocates nothing
+// once the buffer has grown.
+func TestReadFramePathAllocationFree(t *testing.T) {
+	frame := wire.AppendBatch(nil, 1, 0, []wire.Op{{Code: wire.OpRead, Arg: 1}})
+	stream := make([]byte, 0, 1100*len(frame))
+	for i := 0; i < 1100; i++ {
+		stream = append(stream, frame...)
+	}
+	r := strings.NewReader(string(stream))
+	buf := make([]byte, 0, wire.MaxFrame)
+	allocs := testing.AllocsPerRun(1000, func() {
+		p, err := wire.ReadFrame(r, buf)
+		if err != nil {
+			t.Fatalf("read: %v", err)
+		}
+		buf = p
+	})
+	if allocs != 0 {
+		t.Fatalf("ReadFrame allocates %.1f times per frame, want 0", allocs)
+	}
+}
+
+// TestOversizedFrameRejectedBeforeAllocation sends a frame declaring a
+// length beyond the cap: the server must answer with a terminal ETooLarge
+// error frame and drop the connection — without ever allocating for the
+// declared length (pinned on the codec side by the wire tests).
+func TestOversizedFrameRejected(t *testing.T) {
+	srv := newTestServer(t)
+	conn, err := net.Dial("tcp", srv.Addr().String())
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	defer conn.Close()
+	if _, err := conn.Write([]byte{0xff, 0xff, 0xff, 0x7f, 0x00, 0x00}); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	conn.SetReadDeadline(time.Now().Add(2 * time.Second))
+	payload, err := wire.ReadFrame(conn, nil)
+	if err != nil {
+		t.Fatalf("no error frame before drop: %v", err)
+	}
+	f, err := wire.Parse(payload)
+	if err != nil || f.Type != wire.TError || f.Code != wire.ETooLarge || f.Seq != 0 {
+		t.Fatalf("want connection-level ETooLarge frame, got type=%#x code=%d seq=%d err=%v",
+			f.Type, f.Code, f.Seq, err)
+	}
+	// And then the drop.
+	if _, err := conn.Read(make([]byte, 1)); err != io.EOF {
+		t.Fatalf("connection still open after protocol violation: %v", err)
+	}
+}
+
+// TestPartialReads feeds the server a valid batch one byte at a time: the
+// framing must reassemble it and serve it exactly as a single write.
+func TestPartialReads(t *testing.T) {
+	srv := newTestServer(t)
+	conn, err := net.Dial("tcp", srv.Addr().String())
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	defer conn.Close()
+
+	frame := wire.AppendBatch(nil, 42, 0, []wire.Op{
+		{Code: wire.OpInc, Arg: 9},
+		{Code: wire.OpRead, Arg: 9},
+	})
+	for i := range frame {
+		if _, err := conn.Write(frame[i : i+1]); err != nil {
+			t.Fatalf("write byte %d: %v", i, err)
+		}
+		if i%7 == 0 {
+			time.Sleep(time.Millisecond)
+		}
+	}
+	conn.SetReadDeadline(time.Now().Add(2 * time.Second))
+	payload, err := wire.ReadFrame(conn, nil)
+	if err != nil {
+		t.Fatalf("read reply: %v", err)
+	}
+	f, err := wire.Parse(payload)
+	if err != nil || f.Type != wire.TReply || f.Seq != 42 || f.Ops() != 2 {
+		t.Fatalf("bad reply: type=%#x seq=%d ops=%d err=%v", f.Type, f.Seq, f.Ops(), err)
+	}
+	if f.Val(0) != 1 {
+		t.Fatalf("inc on a fresh checkout returned %d, want 1", f.Val(0))
+	}
+	waitInFlightZero(t, srv)
+}
+
+// TestConnDropMidBatch cuts the connection after half a frame: the server
+// must drop the session without leaking any checked-out pool instance.
+func TestConnDropMidBatch(t *testing.T) {
+	srv := newTestServer(t)
+	conn, err := net.Dial("tcp", srv.Addr().String())
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+
+	// One complete frame (so instances actually cycle through checkout),
+	// then half of a second one, then the drop.
+	whole := wire.AppendBatch(nil, 1, 0, []wire.Op{{Code: wire.OpRename, Arg: 5}, {Code: wire.OpInc, Arg: 5}})
+	half := wire.AppendBatch(nil, 2, 0, []wire.Op{{Code: wire.OpRename, Arg: 5}})
+	conn.Write(whole)
+	conn.Write(half[:len(half)-4])
+	// The reply to the whole frame may sit unflushed (the half frame keeps
+	// the coalescing condition from firing), so sync on the served-frame
+	// counter, not the reply.
+	deadline := time.Now().Add(2 * time.Second)
+	for srv.frames.Load() != 1 {
+		if time.Now().After(deadline) {
+			t.Fatalf("first frame never served")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	conn.Close()
+
+	waitInFlightZero(t, srv)
+	if got := srv.frames.Load(); got != 1 {
+		t.Fatalf("served %d frames, want exactly the complete one", got)
+	}
+}
+
+// TestClientDroppedError drops the server side of the connection with a
+// batch in flight: every waiting operation must fail with the typed
+// *DroppedError, and later operations must fail fast with the same type.
+func TestClientDroppedError(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	defer ln.Close()
+	accepted := make(chan net.Conn, 1)
+	go func() {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		accepted <- conn
+	}()
+
+	c, err := Dial(ln.Addr().String(), 2*time.Second)
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	defer c.Close()
+	srvConn := <-accepted
+
+	// Put a batch in flight (the fake server will never reply), then cut.
+	b := c.NewBatch().Rename(1).Inc(2)
+	if err := b.Send(); err != nil {
+		t.Fatalf("send: %v", err)
+	}
+	// Make sure the frame left before cutting, so this exercises the
+	// in-flight tail, not the send path.
+	io.ReadFull(srvConn, make([]byte, 4))
+	srvConn.Close()
+
+	_, err = b.Wait()
+	var dropped *DroppedError
+	if !errors.As(err, &dropped) {
+		t.Fatalf("in-flight batch failed with %T (%v), want *DroppedError", err, err)
+	}
+
+	// The client is now terminal: a fresh op fails with the same typed
+	// error instead of hanging.
+	if _, err := c.Do(wire.OpRead, 1); !errors.As(err, &dropped) {
+		t.Fatalf("post-drop op failed with %T (%v), want *DroppedError", err, err)
+	}
+}
+
+// TestCloseFailsInFlight pins Close's contract: pending operations fail
+// with *DroppedError wrapping ErrClientClosed.
+func TestCloseFailsInFlight(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	defer ln.Close()
+	go func() {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		// Swallow the request and hold the connection open.
+		io.Copy(io.Discard, conn)
+	}()
+
+	c, err := Dial(ln.Addr().String(), 2*time.Second)
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	b := c.NewBatch().Rename(1)
+	if err := b.Send(); err != nil {
+		t.Fatalf("send: %v", err)
+	}
+	c.Close()
+	_, err = b.Wait()
+	if !errors.Is(err, ErrClientClosed) {
+		t.Fatalf("batch after Close failed with %v, want ErrClientClosed cause", err)
+	}
+	var dropped *DroppedError
+	if !errors.As(err, &dropped) {
+		t.Fatalf("batch after Close failed with %T, want *DroppedError", err)
+	}
+}
+
+// TestDeadlineExceededMidBatch sends a multi-op batch with a 1ns budget:
+// the server must fail it typed (EDeadline) rather than run it to the end.
+func TestDeadlineExceededMidBatch(t *testing.T) {
+	srv := newTestServer(t)
+	c := dialTest(t, srv)
+
+	b := c.NewBatch().WithDeadline(1).Wave(8).Wave(8).Wave(8)
+	_, err := b.Commit()
+	var werr *WireError
+	if !errors.As(err, &werr) {
+		t.Fatalf("overrun batch failed with %T (%v), want *WireError", err, err)
+	}
+	if werr.Code != wire.EDeadline {
+		t.Fatalf("error code %d, want EDeadline", werr.Code)
+	}
+
+	// The connection survives a batch-level error: the next op works.
+	if _, err := c.Do(wire.OpRead, 1); err != nil {
+		t.Fatalf("connection dead after batch error: %v", err)
+	}
+	waitInFlightZero(t, srv)
+}
+
+// TestUnknownOpcode pins the typed EBadOp failure and connection survival.
+func TestUnknownOpcode(t *testing.T) {
+	srv := newTestServer(t)
+	c := dialTest(t, srv)
+
+	_, err := c.NewBatch().Add(wire.OpCode(200), 0).Commit()
+	var werr *WireError
+	if !errors.As(err, &werr) || werr.Code != wire.EBadOp {
+		t.Fatalf("unknown opcode failed with %v, want *WireError(EBadOp)", err)
+	}
+	if _, err := c.Do(wire.OpInc, 1); err != nil {
+		t.Fatalf("connection dead after bad opcode: %v", err)
+	}
+}
+
+// TestPipelinedBatches keeps many explicit batches in flight on one
+// connection and checks every reply lands on its own batch (correlation
+// by sequence number).
+func TestPipelinedBatches(t *testing.T) {
+	srv := newTestServer(t)
+	c := dialTest(t, srv)
+
+	const n = 64
+	batches := make([]*Batch, n)
+	for i := range batches {
+		batches[i] = c.NewBatch().Inc(uint64(i % 4)).Read(uint64(i % 4))
+		if err := batches[i].Send(); err != nil {
+			t.Fatalf("send %d: %v", i, err)
+		}
+	}
+	for i, b := range batches {
+		vals, err := b.Wait()
+		if err != nil {
+			t.Fatalf("batch %d: %v", i, err)
+		}
+		if len(vals) != 2 {
+			t.Fatalf("batch %d: %d values, want 2", i, len(vals))
+		}
+	}
+	waitInFlightZero(t, srv)
+}
+
+// TestConcurrentDoStress hammers one client from many goroutines: the
+// group-commit path must deliver every result, coalescing concurrent
+// callers into shared frames (frames served < ops served).
+func TestConcurrentDoStress(t *testing.T) {
+	srv := newTestServer(t)
+	c := dialTest(t, srv)
+
+	const workers = 16
+	const perWorker = 200
+	var wg sync.WaitGroup
+	errs := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				kind := []wire.OpCode{wire.OpRename, wire.OpInc, wire.OpRead}[i%3]
+				if _, err := c.Do(kind, uint64(w)); err != nil {
+					errs <- fmt.Errorf("worker %d op %d: %w", w, i, err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+
+	waitInFlightZero(t, srv)
+	// Coalescing is timing-dependent under live load (each worker blocks on
+	// its own reply, so the queue drains fast on an idle box); the
+	// deterministic pin is TestGroupCommitCoalesces. Here just check the
+	// server saw the traffic and nothing leaked.
+	if srv.frames.Load() == 0 {
+		t.Fatalf("no frames served")
+	}
+	c.pmu.Lock()
+	pending := len(c.pending)
+	c.pmu.Unlock()
+	if pending != 0 {
+		t.Fatalf("%d batches still pending after quiesce", pending)
+	}
+}
+
+// TestGroupCommitCoalesces pins the smart-batching mechanism
+// deterministically: with the leader's write blocked (unbuffered
+// net.Pipe, nobody reading yet), concurrent Do callers queue up behind
+// it and must ride out in ONE shared frame when the leader's write
+// completes.
+func TestGroupCommitCoalesces(t *testing.T) {
+	cliConn, srvConn := net.Pipe()
+	c := NewClient(cliConn)
+	defer c.Close()
+	defer srvConn.Close()
+
+	results := make(chan error, 8)
+	do := func(arg uint64) {
+		_, err := c.Do(wire.OpRead, arg)
+		results <- err
+	}
+
+	// First op: becomes the leader and blocks in the pipe write.
+	go do(0)
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		c.qmu.Lock()
+		leading := c.flushing && len(c.q) == 0
+		c.qmu.Unlock()
+		if leading {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("leader never started flushing")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	// Seven more: they must queue behind the blocked leader.
+	for i := 1; i < 8; i++ {
+		go do(uint64(i))
+	}
+	for {
+		c.qmu.Lock()
+		queued := len(c.q)
+		c.qmu.Unlock()
+		if queued == 7 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("followers never queued")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// Service the pipe by hand: frame 1 carries the leader's single op,
+	// frame 2 must carry all seven queued ops — the coalesce.
+	reply := func(wantOps int) {
+		payload, err := wire.ReadFrame(srvConn, nil)
+		if err != nil {
+			t.Fatalf("read frame: %v", err)
+		}
+		f, err := wire.Parse(payload)
+		if err != nil || f.Type != wire.TBatch {
+			t.Fatalf("bad frame: %v", err)
+		}
+		if f.Ops() != wantOps {
+			t.Fatalf("frame carries %d ops, want %d", f.Ops(), wantOps)
+		}
+		vals := make([]uint64, f.Ops())
+		if _, err := srvConn.Write(wire.AppendReply(nil, f.Seq, vals)); err != nil {
+			t.Fatalf("write reply: %v", err)
+		}
+	}
+	reply(1)
+	reply(7)
+	for i := 0; i < 8; i++ {
+		if err := <-results; err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestMetricsEndpoint scrapes the GET surface and checks the existing
+// gauges show up (pool in-flight, phased mode, op counters, latency
+// quantiles).
+func TestMetricsEndpoint(t *testing.T) {
+	srv := newTestServer(t)
+	c := dialTest(t, srv)
+	for i := 0; i < 100; i++ {
+		if _, err := c.Do(wire.OpInc, uint64(i%3)); err != nil {
+			t.Fatalf("op: %v", err)
+		}
+	}
+	if _, err := c.Do(wire.OpPhasedInc, 0); err != nil {
+		t.Fatalf("phased inc: %v", err)
+	}
+	c.Close() // fold the session shards into the server totals
+
+	conn, err := net.Dial("tcp", srv.Addr().String())
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	defer conn.Close()
+	fmt.Fprintf(conn, "GET /metrics HTTP/1.0\r\nHost: x\r\n\r\n")
+	conn.SetReadDeadline(time.Now().Add(2 * time.Second))
+	raw, err := io.ReadAll(conn)
+	if err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	body := string(raw)
+	if !strings.HasPrefix(body, "HTTP/1.0 200 OK\r\n") {
+		t.Fatalf("bad status line: %.60q", body)
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		// The fold races the scrape only through test timing; the counters
+		// themselves are folded on connection close, so retry briefly.
+		if strings.Contains(body, `netserve_ops_total{op="inc"} 100`) {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("inc counter missing from metrics dump:\n%s", body)
+		}
+		time.Sleep(10 * time.Millisecond)
+		body = srv.MetricsText()
+	}
+	for _, want := range []string{
+		"netserve_conns_accepted_total",
+		"counter_pool_inflight 0",
+		"rename_pool_shards",
+		"phased_mode",
+		`netserve_op_latency_ns{quantile="0.99"}`,
+		"netserve_op_latency_ns_count",
+	} {
+		if !strings.Contains(srv.MetricsText(), want) {
+			t.Fatalf("metrics dump missing %q:\n%s", want, srv.MetricsText())
+		}
+	}
+}
+
+// TestScenarioOverWire drives a catalog-shaped open-loop scenario through
+// load.RunRemote over a real loopback connection: the harness's scheduling
+// and verdict machinery must hold over the wire path unchanged.
+func TestScenarioOverWire(t *testing.T) {
+	srv := newTestServer(t)
+	c := dialTest(t, srv)
+
+	s := load.Scenario{
+		Name:     "wire-smoke",
+		Workers:  8,
+		Arrival:  load.Arrival{Kind: load.Steady, Rate: 20000},
+		Mix:      load.Mix{Rename: 3, Inc: 4, Read: 2, Wave: 1, Targets: 16, Skew: 1.1},
+		WaveK:    8,
+		Duration: 300 * time.Millisecond,
+		Seed:     42,
+	}
+	r := load.RunRemote(s, c)
+	if r.Verdict != "ok" {
+		t.Fatalf("wire scenario verdict %q\n%s", r.Verdict, r.JSON())
+	}
+	if r.Transport != "wire" {
+		t.Fatalf("transport %q, want wire", r.Transport)
+	}
+	if r.Ops == 0 || r.RemoteErrs != 0 {
+		t.Fatalf("ops=%d remoteErrs=%d", r.Ops, r.RemoteErrs)
+	}
+	if !strings.Contains(r.GoBenchRow(), "/wire") {
+		t.Fatalf("bench row not tagged: %s", r.GoBenchRow())
+	}
+	waitInFlightZero(t, srv)
+}

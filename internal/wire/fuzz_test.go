@@ -1,0 +1,80 @@
+package wire
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzDecodeFrame drives the whole decode path — length-prefix read,
+// payload parse, and a full walk of every op/value/message view — on
+// arbitrary bytes, treated as a stream of up to a few frames. The
+// properties under test:
+//
+//   - no panic and no overread on truncated, oversized, or bit-flipped
+//     frames (any malformed input must surface as an error, never as an
+//     out-of-range index into the frame body);
+//   - a declared length beyond MaxFrame is rejected before the decoder
+//     allocates or consumes the body (ErrTooLarge from the header alone);
+//   - whatever Parse accepts round-trips: re-encoding the parsed frame
+//     must reproduce the accepted payload byte-for-byte, so the decoder
+//     cannot accept two distinct wire forms for one frame.
+func FuzzDecodeFrame(f *testing.F) {
+	// Seed corpus: one well-formed frame of each type, a truncated batch,
+	// an oversized declaration, and a bit-flipped header.
+	batch := AppendBatch(nil, 7, 500, []Op{{OpRename, 3}, {OpWave, 8}, {OpPhasedRead, 0}})
+	reply := AppendReply(nil, 7, []uint64{1, 2, 1 << 40})
+	errf := AppendError(nil, 9, EDeadline, "deadline exceeded")
+	f.Add(batch)
+	f.Add(reply)
+	f.Add(errf)
+	f.Add(append(append([]byte{}, batch...), reply...)) // two frames back to back
+	f.Add(batch[:len(batch)-5])                         // truncated body
+	f.Add([]byte{0xff, 0xff, 0xff, 0x7f, 0x01})         // absurd declared length
+	flipped := append([]byte{}, batch...)
+	flipped[4] ^= 0x40 // corrupt the frame type
+	f.Add(flipped)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r := bytes.NewReader(data)
+		var buf []byte
+		for frames := 0; frames < 8; frames++ {
+			payload, err := ReadFrame(r, buf)
+			if err != nil {
+				return // rejected cleanly — the property holds
+			}
+			if len(payload) > MaxFrame {
+				t.Fatalf("ReadFrame returned %d bytes, beyond the cap", len(payload))
+			}
+			fr, err := Parse(payload)
+			if err != nil {
+				return
+			}
+			// Walk every view the frame exposes; an overread panics here.
+			var reenc []byte
+			switch fr.Type {
+			case TBatch:
+				ops := make([]Op, fr.Ops())
+				for i := 0; i < fr.Ops(); i++ {
+					ops[i].Code, ops[i].Arg = fr.Op(i)
+				}
+				reenc = AppendBatch(nil, fr.Seq, fr.Deadline, ops)
+			case TReply:
+				vals := make([]uint64, fr.Ops())
+				for i := 0; i < fr.Ops(); i++ {
+					vals[i] = fr.Val(i)
+				}
+				reenc = AppendReply(nil, fr.Seq, vals)
+			case TError:
+				reenc = AppendError(nil, fr.Seq, fr.Code, string(fr.Msg))
+			default:
+				t.Fatalf("Parse accepted unknown frame type %#x", fr.Type)
+			}
+			// Round-trip: the re-encoded frame (minus length prefix) must
+			// equal the accepted payload exactly.
+			if !bytes.Equal(reenc[4:], payload) {
+				t.Fatalf("accepted payload does not round-trip:\n in: %x\nout: %x", payload, reenc[4:])
+			}
+			buf = payload
+		}
+	})
+}

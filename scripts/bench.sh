@@ -18,7 +18,12 @@
 # phased-churn scenario rows; BENCH_7.json is the record of the sweep
 # engine PR — the BenchmarkSweepExec* three-way amortization legs
 # (arena reuse vs instantiate-per-run vs fresh-build) and the
-# SweepThroughput -cpu rows, plus the skew scenario row.
+# SweepThroughput -cpu rows, plus the skew scenario row; BENCH_8.json is
+# the record of the wire-protocol PR — the BenchmarkWireRename/batch=1|8|64
+# loopback amortization sweep (per-op ns, so batch=64 vs batch=1 reads as
+# the syscall-amortization factor), WireCounterInc, WirePipelinedDo, and
+# the steady/burst catalog scenarios driven through renameload -addr
+# against a live renameserve (rows named BenchmarkScenario/<name>/wire).
 # scripts/bench_gate.sh compares consecutive records and fails CI on
 # regressions in shared rows).
 #
@@ -52,10 +57,12 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 benchtime="${BENCHTIME:-2s}"
-pattern="${BENCH:-BenchmarkStrongAdaptive\$|BenchmarkStrongAdaptiveHardware|BenchmarkNativeRenaming\$|BenchmarkNativeRenamingFaultArmed|BenchmarkNativeRenamingRecorded|BenchmarkNativeCounter|BenchmarkFreshBuild|BenchmarkInstantiate|BenchmarkCompileCold|BenchmarkBitBatching\$|BenchmarkPhasedInc|BenchmarkAACIncSerial|BenchmarkSweepExec}"
+pattern="${BENCH:-BenchmarkStrongAdaptive\$|BenchmarkStrongAdaptiveHardware|BenchmarkNativeRenaming\$|BenchmarkNativeRenamingFaultArmed|BenchmarkNativeRenamingRecorded|BenchmarkNativeCounter|BenchmarkFreshBuild|BenchmarkInstantiate|BenchmarkCompileCold|BenchmarkBitBatching\$|BenchmarkPhasedInc|BenchmarkAACIncSerial|BenchmarkSweepExec|BenchmarkWire}"
 parpattern="${PARBENCH:-Throughput}"
 cpus="${CPUS:-1,2,4}"
 scenarios="${SCENARIOS:-steady,burst,churn,phased,phased-churn,skew}"
+wirescenarios="${WIRESCENARIOS:-steady,burst}"
+wireaddr="${WIREADDR:-127.0.0.1:7419}"
 scendur="${SCENDUR:-3s}"
 
 n=1
@@ -79,6 +86,26 @@ if [ "$scenarios" != "none" ]; then
 		raw="$raw
 $scenrow"
 	done
+fi
+
+# The wire pass: the same catalog generators, but every operation crosses
+# the batched binary protocol to a live renameserve on loopback (rows gain
+# the /wire name suffix, so in-process and wire runs of one scenario sit
+# side by side in the record).
+if [ "$wirescenarios" != "none" ]; then
+	srvbin=$(mktemp -t renameserve.XXXXXX)
+	go build -o "$srvbin" ./cmd/renameserve
+	"$srvbin" -addr "$wireaddr" -quiet &
+	srvpid=$!
+	trap 'kill "$srvpid" 2>/dev/null; rm -f "$srvbin"' EXIT
+	for scen in $(printf '%s' "$wirescenarios" | tr ',' ' '); do
+		scenrow=$(go run ./cmd/renameload -addr "$wireaddr" -scenario "$scen" -duration "$scendur" -gobench)
+		printf '%s\n' "$scenrow" >&2
+		raw="$raw
+$scenrow"
+	done
+	kill "$srvpid" 2>/dev/null
+	wait "$srvpid" 2>/dev/null || true
 fi
 
 {
