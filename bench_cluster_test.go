@@ -1,0 +1,103 @@
+package renaming_test
+
+// The cluster-tier benchmark suite: the loopback cost of serving renames
+// through the client-side router and scatter-gather fan-out
+// (internal/cluster), swept by node count and batch size. Reported ns/op
+// is per OPERATION, not per batch. The nodes=1 rows bound the routing
+// overhead against the plain wire suite (BenchmarkWireRename — same
+// machinery minus the router); the nodes=2/3 rows measure the fan-out:
+// each batch splits into per-node sub-frames that are all in flight
+// concurrently, so the per-op cost should track ~the slowest node's round
+// trip, not the node count. On a single-core runner every extra node still
+// adds real serve work per batch, so the nodes sweep reads as an upper
+// bound on the fan-out cost. BENCHMARKS.md "The cluster tier" holds the
+// comparison table.
+
+import (
+	"fmt"
+	"net"
+	"testing"
+	"time"
+
+	renaming "repro"
+)
+
+// newClusterBench starts n loopback wire servers behind a uniform ring and
+// one routed cluster client.
+func newClusterBench(b *testing.B, n int) *renaming.ClusterClient {
+	b.Helper()
+	addrs := make([]string, n)
+	srvs := make([]*renaming.WireServer, n)
+	for i := range srvs {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			b.Fatalf("listen node %d: %v", i, err)
+		}
+		srvs[i] = renaming.ServeWire(ln, nil)
+		addrs[i] = srvs[i].Addr().String()
+	}
+	ring, err := renaming.NewClusterRing(addrs, 1<<20)
+	if err != nil {
+		b.Fatalf("ring: %v", err)
+	}
+	c, err := renaming.DialCluster(ring, 2*time.Second)
+	if err != nil {
+		b.Fatalf("dial: %v", err)
+	}
+	b.Cleanup(func() {
+		c.Close()
+		for _, srv := range srvs {
+			srv.Close()
+		}
+	})
+	return c
+}
+
+// BenchmarkClusterRename is the fan-out sweep: renames through the routed
+// scatter-gather batch over 1, 2, and 3 loopback nodes at batch 1, 8, 64.
+// Keys walk a 64-wide window so multi-node rings actually scatter.
+func BenchmarkClusterRename(b *testing.B) {
+	for _, nodes := range []int{1, 2, 3} {
+		for _, batch := range []int{1, 8, 64} {
+			b.Run(fmt.Sprintf("nodes=%d/batch=%d", nodes, batch), func(b *testing.B) {
+				c := newClusterBench(b, nodes)
+				bt := c.NewBatch()
+				b.ReportAllocs()
+				b.ResetTimer()
+				for done := 0; done < b.N; {
+					n := batch
+					if rem := b.N - done; n > rem {
+						n = rem
+					}
+					bt.Reset()
+					for i := 0; i < n; i++ {
+						bt.Rename(uint64(i & 63))
+					}
+					if _, err := bt.Commit(); err != nil {
+						b.Fatal(err)
+					}
+					done += n
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkClusterPipelinedDo measures the routed group-commit path:
+// concurrent Do callers coalesce into shared frames per node — the
+// adaptive counterpart of the explicit scatter-gather sweep.
+func BenchmarkClusterPipelinedDo(b *testing.B) {
+	c := newClusterBench(b, 3)
+	b.ReportAllocs()
+	b.ResetTimer()
+	var key uint64
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			k := key % 64
+			key++
+			if _, err := c.Do(renaming.WireRename, k, k); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

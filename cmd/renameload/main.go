@@ -22,16 +22,23 @@
 //
 // With -addr the generators drive a renameserve wire server instead of
 // in-process pools: the same scenarios, the same scheduled-arrival latency
-// accounting, but every operation crosses the batched binary wire protocol
-// (native runtime only; fault plans are an in-process arming surface and
-// do not travel over the wire).
+// accounting, but every operation crosses the batched binary wire protocol.
+// With -ring they drive a whole renameserve cluster: operations route by
+// key over the ring file's nodes and rename replies come back as
+// cluster-wide names. Both are native-runtime only, and both refuse an
+// explicit -faults plan (fault plans arm in-process wave processes and do
+// not travel over the wire; a scenario's own catalog plan is stripped with
+// a note). -deadline arms a per-batch server-side budget; servers running
+// admission control shed late batches typed and retryable, counted in the
+// report's sheds field without failing the verdict.
 //
 // Usage:
 //
 //	renameload -list
 //	renameload [-scenario churn] [-rate R] [-duration D] [-workers N]
 //	           [-ops N] [-seed S] [-faults 1@8,3@20|none] [-runtime sim]
-//	           [-addr host:port] [-json] [-gobench]
+//	           [-addr host:port | -ring ring.txt] [-deadline D]
+//	           [-json] [-gobench]
 package main
 
 import (
@@ -40,6 +47,7 @@ import (
 	"os"
 	"strconv"
 	"strings"
+	"time"
 
 	renaming "repro"
 )
@@ -53,8 +61,10 @@ func main() {
 	workers := flag.Int("workers", 0, "override the generator goroutine count")
 	ops := flag.Uint64("ops", 0, "override the op budget (sim mode: the exact budget)")
 	seed := flag.Uint64("seed", 0, "override the scenario seed (sim mode: the replay seed)")
-	faults := flag.String("faults", "", "override the fault plan: p@s,p@s crashes process p after s completed steps of each wave; 'none' disarms the scenario's plan")
+	faults := flag.String("faults", "", "override the fault plan: p@s,p@s crashes process p after s completed steps of each wave; 'none' disarms the scenario's plan (explicit plans are incompatible with -addr/-ring: usage error)")
 	addr := flag.String("addr", "", "drive a renameserve wire server at this address instead of in-process pools (native runtime only)")
+	ringPath := flag.String("ring", "", "drive a renameserve cluster described by this ring file, routing ops by key across its nodes (native runtime only)")
+	deadline := flag.Duration("deadline", 0, "per-batch server-side processing budget over -addr/-ring (0 = none); with server admission control, also bounds how long a queued op may wait before it is shed")
 	jsonOut := flag.Bool("json", false, "emit the report as JSON")
 	gobench := flag.Bool("gobench", false, "emit one go-bench-style result line (scripts/bench.sh folds these into BENCH_<n>.json)")
 	flag.Parse()
@@ -107,22 +117,54 @@ func main() {
 		s.Faults = plan
 	}
 
+	remote := *addr != "" || *ringPath != ""
 	var r *renaming.LoadReport
 	switch {
-	case *addr != "" && *runtimeName != "native":
-		fmt.Fprintln(os.Stderr, "renameload: -addr drives a live server and needs the native runtime (drop -runtime sim)")
+	case *addr != "" && *ringPath != "":
+		fmt.Fprintln(os.Stderr, "renameload: -addr and -ring are mutually exclusive (one server or one cluster, not both)")
 		os.Exit(2)
-	case *addr != "":
+	case remote && *runtimeName != "native":
+		fmt.Fprintln(os.Stderr, "renameload: -addr/-ring drive live servers and need the native runtime (drop -runtime sim)")
+		os.Exit(2)
+	case remote && *faults != "" && *faults != "none":
+		// An explicit plan over the wire is a contradiction, not a
+		// preference: fault plans arm in-process wave processes, and
+		// silently dropping what the user asked for would misreport the
+		// run. (-faults none still works — it disarms the scenario's own
+		// plan; catalog-armed plans are stripped with a note below.)
+		fmt.Fprintln(os.Stderr, "renameload: -faults cannot combine with -addr/-ring: fault plans arm in-process wave processes and do not travel over the wire (use -faults none to disarm a scenario's own plan)")
+		os.Exit(2)
+	case remote:
 		if s.Faults != nil {
 			fmt.Fprintln(os.Stderr, "renameload: note: fault plans do not travel over the wire; remote waves run fault-free")
 			s.Faults = nil
 		}
-		var err error
-		r, err = renaming.RunScenarioWire(s, *addr)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "renameload:", err)
-			os.Exit(1)
+		var rem renaming.RemoteTransport
+		if *ringPath != "" {
+			ring, err := renaming.LoadClusterRing(*ringPath)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "renameload:", err)
+				os.Exit(2)
+			}
+			c, err := renaming.DialCluster(ring, 5*time.Second)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "renameload:", err)
+				os.Exit(1)
+			}
+			defer c.Close()
+			c.SetOpDeadline(*deadline)
+			rem = c
+		} else {
+			c, err := renaming.DialWire(*addr, 5*time.Second)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "renameload:", err)
+				os.Exit(1)
+			}
+			defer c.Close()
+			c.SetOpDeadline(*deadline)
+			rem = c
 		}
+		r = renaming.RunScenarioRemote(s, rem)
 	case *runtimeName == "native":
 		r = renaming.RunScenario(s, nil)
 	case *runtimeName == "sim":

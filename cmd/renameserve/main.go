@@ -3,11 +3,24 @@
 // serving pools (internal/serve, internal/phase). cmd/renameload -addr
 // drives it with the full scenario catalog; any connection that starts
 // with "GET " receives a plain-text metrics dump (pool in-flight and retry
-// gauges, phased-counter mode, merged op-latency quantiles), so
+// gauges, phased-counter mode, admission shed counters, merged op-latency
+// quantiles), so
 //
 //	curl http://<addr>/metrics
 //
 // works against the same port the wire protocol is served on.
+//
+// With -ring the process serves one node of a cluster: the ring file
+// (one "id addr base span" line per node) names every node's address and
+// disjoint cluster name range, and -node selects which line this process
+// is. The server itself is unchanged — cluster names are client-side
+// arithmetic (cmd/renameload -ring) — so -ring only picks the listen
+// address and prints the owned range.
+//
+// -admit arms admission control: at most N concurrently-executing ops per
+// gate shard, a bounded wait queue behind them, and shed-on-deadline for
+// ops that cannot be admitted within their batch's budget (clients see the
+// typed retryable EShed; netserve_shed_total counts them).
 //
 // The process stops on SIGINT/SIGTERM: the listener and all open
 // connections close, in-flight batches are abandoned (clients see their
@@ -16,6 +29,8 @@
 // Usage:
 //
 //	renameserve [-addr 127.0.0.1:7411] [-seed S] [-quiet]
+//	            [-ring ring.txt -node i]
+//	            [-admit N] [-admit-queue N] [-admit-wait D]
 package main
 
 import (
@@ -29,17 +44,54 @@ import (
 )
 
 func main() {
-	addr := flag.String("addr", "127.0.0.1:7411", "TCP listen address")
+	addr := flag.String("addr", "127.0.0.1:7411", "TCP listen address (superseded by -ring)")
+	ringPath := flag.String("ring", "", "cluster ring file (one \"id addr base span\" line per node); serve the node selected by -node")
+	node := flag.Int("node", 0, "this process's node id in the -ring file")
+	admit := flag.Int("admit", 0, "admission control: max concurrently-executing ops per gate shard (0 = off)")
+	admitShards := flag.Int("admit-shards", 0, "admission control: gate shard count (default 16; 1 = one strict global bound)")
+	admitQueue := flag.Int("admit-queue", 0, "admission control: waiters per gate before shedding (default 2×-admit)")
+	admitWait := flag.Duration("admit-wait", 0, "admission control: max queue wait for ops whose batch carries no deadline (default 1ms)")
 	seed := flag.Uint64("seed", 1, "pool seed (derives every instance's coin streams)")
 	quiet := flag.Bool("quiet", false, "skip the metrics dump on shutdown")
 	flag.Parse()
 
-	srv, err := renaming.ListenWire(*addr, renaming.NewLoadTarget(*seed))
+	opts := renaming.WireOptions{Admission: renaming.WireAdmissionConfig{
+		PerShard: *admit,
+		Shards:   *admitShards,
+		Queue:    *admitQueue,
+		MaxWait:  *admitWait,
+	}}
+
+	listenAddr := *addr
+	var nd *renaming.ClusterNode
+	if *ringPath != "" {
+		ring, err := renaming.LoadClusterRing(*ringPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "renameserve:", err)
+			os.Exit(2)
+		}
+		if *node < 0 || *node >= ring.Len() {
+			fmt.Fprintf(os.Stderr, "renameserve: -node %d out of range (ring has nodes 0..%d)\n", *node, ring.Len()-1)
+			os.Exit(2)
+		}
+		n := ring.Node(*node)
+		nd = &n
+		listenAddr = n.Addr
+	}
+
+	srv, err := renaming.ListenWireOpts(listenAddr, renaming.NewLoadTarget(*seed), opts)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "renameserve:", err)
 		os.Exit(1)
 	}
-	fmt.Printf("renameserve: listening on %s\n", srv.Addr())
+	if nd != nil {
+		fmt.Printf("renameserve: node %d listening on %s, serving cluster names %s\n", nd.ID, srv.Addr(), nd.Range())
+	} else {
+		fmt.Printf("renameserve: listening on %s\n", srv.Addr())
+	}
+	if *admit > 0 {
+		fmt.Printf("renameserve: admission control on (%d per gate shard)\n", *admit)
+	}
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)

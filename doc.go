@@ -245,6 +245,48 @@
 // the other side; any connection starting with "GET " gets a plain-text
 // metrics dump of the pools' live gauges instead of the binary protocol.
 //
+// # Clustered serving
+//
+// The cluster tier scales the wire tier horizontally the way the paper
+// scales names: partition the resource space, let every participant
+// reach a unique slot without coordinating with the others. A ClusterRing
+// is a static table of N wire servers, each owning a disjoint slice
+// [Base, Base+Span) of the cluster name space; keys place onto nodes by a
+// deterministic consistent jump hash (every client computes the same
+// routing from the same ring file, and appending a node moves only ~1/N
+// of the keys). ClusterClient keeps one pipelined wire connection per
+// node and scatters each batch into per-node sub-batches that are all in
+// flight concurrently, then gathers replies back in caller order — per
+// operation, the scatter-gather path allocates nothing:
+//
+//	ring, _ := renaming.NewClusterRing(addrs, 1<<20)
+//	c, _ := renaming.DialCluster(ring, time.Second)
+//	bt := c.NewBatch()
+//	bt.Rename(7).Inc(3).Read(3)
+//	vals, _ := bt.Commit() // sub-frames fanned out, gathered in order
+//
+// Rename replies come back offset into the owning node's range, so
+// cluster-wide uniqueness needs no inter-node coordination at all: it is
+// the disjointness of the ranges, client-side arithmetic over the same
+// resource-bounded view of naming the algorithms implement. Failures
+// scope to nodes — a dead node fails only the ops routed to it (typed
+// ClusterNodeError naming the node and its range; the other nodes' values
+// still arrive) — and DialWire/DialCluster retry refused connections with
+// bounded exponential backoff inside the caller's wait budget.
+//
+// Each node defends itself with admission control (WireOptions,
+// cmd/renameserve -admit): a bounded number of concurrently-executing
+// operations per gate shard, a bounded wait queue behind them, and
+// shed-on-deadline — an op that cannot be admitted within its batch's
+// budget (or the server's configured wait bound) is refused typed and
+// retryable (WireShedError, IsShedError) rather than queued into tail
+// collapse. Sheds count in the load report's Sheds field without failing
+// its verdict, and surface as netserve_shed_total on every node's metrics
+// endpoint. cmd/renameserve -ring -node serves one node of a ring;
+// cmd/renameload -ring (and RunScenarioCluster) drives the whole cluster
+// through the routed path; BENCHMARKS.md "The cluster tier" holds the
+// fan-out and shed-under-burst measurements.
+//
 // # Schedule sweeps
 //
 // The sweep engine (NewSweep, cmd/renamesweep) turns the deterministic

@@ -42,7 +42,36 @@ type Remote interface {
 // arrival on open-loop scenarios (coordinated-omission correction
 // included), so the reported quantiles absorb the round trips and any
 // server-side queueing. Failed remote operations are counted in
-// Report.RemoteErrs and fail the verdict.
+// Report.RemoteErrs and fail the verdict — except sheds (IsShed), which
+// are the server's admission control working as designed: they count in
+// Report.Sheds, land in the latency distribution like any completed round
+// trip, and leave the verdict alone.
 func RunRemote(s Scenario, rem Remote) *Report {
 	return run(s, nil, rem)
+}
+
+// IsShed reports whether a remote operation's error was a server
+// admission shed — a retryable refusal (the server started nothing)
+// rather than a hard failure. Transports mark sheds by returning an error
+// whose chain contains a `Shed() bool` method returning true (the wire
+// client's *netserve.ShedError does).
+func IsShed(err error) bool {
+	for err != nil {
+		if sh, ok := err.(interface{ Shed() bool }); ok && sh.Shed() {
+			return true
+		}
+		switch x := err.(type) {
+		case interface{ Unwrap() error }:
+			err = x.Unwrap()
+		default:
+			return false
+		}
+	}
+	return false
+}
+
+// Namer optionally names a Remote's transport in reports ("wire" when
+// absent; the cluster client reports "cluster").
+type Namer interface {
+	TransportName() string
 }

@@ -47,11 +47,16 @@ type PhaseReport struct {
 type Report struct {
 	Scenario string `json:"scenario"`
 	Runtime  string `json:"runtime"` // "native" or "sim"
-	// Transport is set when the run went over a remote transport ("wire");
-	// empty for in-process runs. RemoteErrs counts remote operations that
-	// failed (any nonzero count fails the verdict).
+	// Transport is set when the run went over a remote transport ("wire",
+	// "cluster"); empty for in-process runs. RemoteErrs counts remote
+	// operations that failed hard (any nonzero count fails the verdict).
+	// Sheds counts operations the server's admission control refused
+	// (retryable by contract; they do NOT fail the verdict — a shed under
+	// overload is the degradation mode working, and its fast typed failure
+	// is what keeps the tail bounded).
 	Transport  string `json:"transport,omitempty"`
 	RemoteErrs uint64 `json:"remote_errs,omitempty"`
+	Sheds      uint64 `json:"sheds,omitempty"`
 	Seed       uint64 `json:"seed"`
 	Workers    int    `json:"workers"`
 	Arrival    string `json:"arrival"`
@@ -172,6 +177,9 @@ func (r *Report) Fprint(w io.Writer) {
 	if r.OfferedOpsSec > 0 {
 		fmt.Fprintf(w, " — offered %.0f ops/s, achieved %.0f ops/s", r.OfferedOpsSec, r.AchievedOpsSec)
 	}
+	if r.Sheds > 0 {
+		fmt.Fprintf(w, "; %d shed", r.Sheds)
+	}
 	if r.Waves > 0 {
 		fmt.Fprintf(w, "; %d waves, %d crashes", r.Waves, r.Crashes)
 	}
@@ -258,6 +266,10 @@ func (r *Report) GoBenchRow() string {
 	if r.Transport != "" {
 		name += "/" + r.Transport
 	}
-	return fmt.Sprintf("BenchmarkScenario/%s \t %d \t %.1f offered_ops/s \t %.1f achieved_ops/s \t %d p50-%s \t %d p99-%s \t %d p999-%s \t %d crashes",
+	row := fmt.Sprintf("BenchmarkScenario/%s \t %d \t %.1f offered_ops/s \t %.1f achieved_ops/s \t %d p50-%s \t %d p99-%s \t %d p999-%s \t %d crashes",
 		name, r.Ops, r.OfferedOpsSec, r.AchievedOpsSec, r.Total.P50, u, r.Total.P99, u, r.Total.P999, u, r.Crashes)
+	if r.Sheds > 0 {
+		row += fmt.Sprintf(" \t %d sheds", r.Sheds)
+	}
+	return row
 }

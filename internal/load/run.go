@@ -161,7 +161,7 @@ func run(s Scenario, tg *Target, rem Remote) *Report {
 	// run-level peak cannot under-report just because every wave finished
 	// between two sampler ticks.
 	var waveExtra, maxWaveK atomic.Int64
-	var crashes, remoteErrs atomic.Uint64
+	var crashes, remoteErrs, sheds atomic.Uint64
 	ks := newKSampler(len(prof.classes))
 	stopSampler := make(chan struct{})
 	var samplerWG sync.WaitGroup
@@ -197,7 +197,7 @@ func run(s Scenario, tg *Target, rem Remote) *Report {
 		wg.Add(1)
 		go func(w *worker) {
 			defer wg.Done()
-			g := &gauges{waveExtra: &waveExtra, maxWaveK: &maxWaveK, crashes: &crashes, rem: rem, errs: &remoteErrs}
+			g := &gauges{waveExtra: &waveExtra, maxWaveK: &maxWaveK, crashes: &crashes, rem: rem, errs: &remoteErrs, sheds: &sheds}
 			if w.sc != nil {
 				runOpenLoop(&s, tg, w, start, perWorkerBudget, g)
 			} else {
@@ -212,10 +212,15 @@ func run(s Scenario, tg *Target, rem Remote) *Report {
 
 	r := buildReport(&s, prof, workers, elapsed, "native", "ns", crashes.Load(), ks, int(maxWaveK.Load()))
 	if rem != nil {
-		// The wire client is the only Remote today; tag the rows so the
-		// bench trajectory can tell wire runs from in-process runs.
+		// Tag the rows so the bench trajectory can tell transports apart:
+		// "wire" unless the transport names itself (the cluster client
+		// reports "cluster").
 		r.Transport = "wire"
+		if n, ok := rem.(Namer); ok {
+			r.Transport = n.TransportName()
+		}
 		r.RemoteErrs = remoteErrs.Load()
+		r.Sheds = sheds.Load()
 		r.Verdict = r.check()
 	}
 	return r
@@ -229,6 +234,7 @@ type gauges struct {
 	crashes   *atomic.Uint64
 	rem       Remote
 	errs      *atomic.Uint64
+	sheds     *atomic.Uint64
 }
 
 // runOpenLoop issues operations at the worker's scheduled arrival times.
@@ -378,7 +384,15 @@ func runRemoteOp(s *Scenario, kind opKind, at float64, key uint64, g *gauges) {
 		_, err = g.rem.Op(RemoteWave, 0, k)
 	}
 	if err != nil {
-		g.errs.Add(1)
+		// A shed is the server's overload control doing its job — count it
+		// as a shed (it does not fail the verdict); anything else is a hard
+		// remote error. Either way the op's round trip stays in the latency
+		// distribution: the client waited for it.
+		if IsShed(err) {
+			g.sheds.Add(1)
+		} else {
+			g.errs.Add(1)
+		}
 	}
 }
 

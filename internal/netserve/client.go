@@ -25,6 +25,24 @@ func (e *WireError) Error() string {
 	return fmt.Sprintf("netserve: server error %d on batch %d: %s", e.Code, e.Seq, e.Msg)
 }
 
+// ShedError is the server's admission control refusing a batch: a shard
+// queue was full, or a queued op ran out of deadline budget before a slot
+// freed (wire.EShed). It is RETRYABLE — the server never started the
+// failing op, so resubmitting is always safe — and batch-scoped: the
+// connection stays usable. Shed returns true (the marker the load harness
+// keys on to count sheds separately from hard remote errors).
+type ShedError struct {
+	Seq uint64
+	Msg string
+}
+
+func (e *ShedError) Error() string {
+	return fmt.Sprintf("netserve: batch %d shed by server admission control: %s", e.Seq, e.Msg)
+}
+
+// Shed marks the error as a retryable admission shed.
+func (e *ShedError) Shed() bool { return true }
+
 // DroppedError reports that the connection died with operations in flight:
 // every op and batch still waiting gets one, wrapping the underlying cause
 // — the typed error for the in-flight tail of a dropped connection.
@@ -100,19 +118,33 @@ func NewClient(conn net.Conn) *Client {
 	return c
 }
 
-// Dial connects to a wire server, retrying for up to wait (a freshly
-// spawned server may still be compiling or binding).
+// Dial connects to a wire server, retrying failed attempts with bounded
+// exponential backoff (2ms doubling to 250ms) for up to wait. Cluster
+// startup makes first-attempt failures routine — a freshly spawned node
+// may still be compiling, binding, or behind its siblings — so a dial is
+// a retry loop, not a single shot. The first attempt happens immediately;
+// wait ≤ 0 degenerates to exactly one attempt. The last backoff is
+// clipped to the remaining budget so Dial never overshoots wait by more
+// than one attempt's connect time.
 func Dial(addr string, wait time.Duration) (*Client, error) {
 	deadline := time.Now().Add(wait)
+	backoff := 2 * time.Millisecond
 	for {
 		conn, err := net.Dial("tcp", addr)
 		if err == nil {
 			return NewClient(conn), nil
 		}
-		if time.Now().After(deadline) {
+		remaining := time.Until(deadline)
+		if remaining <= 0 {
 			return nil, err
 		}
-		time.Sleep(50 * time.Millisecond)
+		if backoff > remaining {
+			backoff = remaining
+		}
+		time.Sleep(backoff)
+		if backoff < 250*time.Millisecond {
+			backoff *= 2
+		}
 	}
 }
 
@@ -440,6 +472,11 @@ func (c *Client) readLoop() {
 	defer close(c.readerDone)
 	r := bufio.NewReaderSize(c.conn, 128<<10)
 	var buf []byte
+	// One frame variable for the loop's lifetime: its address goes through
+	// the completer interface below, so a loop-local would escape and cost
+	// one heap allocation per reply frame (the cluster scatter-gather
+	// 0-alloc pin catches exactly this).
+	var f wire.Frame
 	for {
 		payload, err := wire.ReadFrame(r, buf)
 		if err != nil {
@@ -447,7 +484,7 @@ func (c *Client) readLoop() {
 			return
 		}
 		buf = payload
-		f, err := wire.Parse(payload)
+		f, err = wire.Parse(payload)
 		if err != nil {
 			c.fail(err)
 			return
@@ -464,7 +501,12 @@ func (c *Client) readLoop() {
 				return
 			}
 		case wire.TError:
-			werr := &WireError{Seq: f.Seq, Code: f.Code, Msg: string(f.Msg)}
+			var werr error = &WireError{Seq: f.Seq, Code: f.Code, Msg: string(f.Msg)}
+			if f.Code == wire.EShed {
+				// Admission shed: typed separately because it is the one
+				// retryable batch failure (the server started nothing).
+				werr = &ShedError{Seq: f.Seq, Msg: string(f.Msg)}
+			}
 			if f.Seq == 0 {
 				// Connection-level error: the server could not attribute it
 				// to a batch, so no batch on this connection can complete.

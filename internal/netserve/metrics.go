@@ -67,6 +67,21 @@ func (s *Server) writeMetrics(b *strings.Builder) {
 	}
 	fmt.Fprintf(b, "netserve_ops_total_all %d\n", total)
 
+	// Admission control. shed_total always prints (0 with admission off) so
+	// overload dashboards and CI greps never depend on server configuration;
+	// the depth/limit gauges only exist when gates do.
+	if s.adm != nil {
+		fmt.Fprintf(b, "netserve_shed_total %d\n", s.adm.shed.Load())
+		fmt.Fprintf(b, "netserve_admitted_total %d\n", s.adm.admitted.Load())
+		fmt.Fprintf(b, "netserve_admit_waits_total %d\n", s.adm.waits.Load())
+		fmt.Fprintf(b, "netserve_admit_queue_depth %d\n", s.adm.queueDepth())
+		fmt.Fprintf(b, "netserve_admit_gates %d\n", len(s.adm.gates))
+		fmt.Fprintf(b, "netserve_admit_per_shard %d\n", s.adm.cfg.PerShard)
+		fmt.Fprintf(b, "netserve_admit_queue_cap %d\n", s.adm.cfg.Queue)
+	} else {
+		fmt.Fprintf(b, "netserve_shed_total 0\n")
+	}
+
 	writePool(b, "rename", s.tg.Rename.Stats())
 	writePool(b, "counter", s.tg.Counter.Stats())
 

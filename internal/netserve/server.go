@@ -52,12 +52,20 @@ const maxWaveK = 32
 // histogram (the merge takes a mutex, so it stays off the per-op path).
 const histMergePeriod = 4096
 
+// Options configures a Server beyond its pools.
+type Options struct {
+	// Admission bounds concurrently-executing operations on the checkout
+	// path (admission.go). The zero value admits everything immediately.
+	Admission AdmissionConfig
+}
+
 // Server serves the wire protocol over one listener, mapping each
 // connection onto the shared load.Target pools.
 type Server struct {
-	tg *load.Target
-	ln net.Listener
-	wg sync.WaitGroup
+	tg  *load.Target
+	ln  net.Listener
+	adm *admission // nil when admission control is disabled
+	wg  sync.WaitGroup
 
 	cmu  sync.Mutex
 	live map[net.Conn]struct{}
@@ -81,10 +89,15 @@ type Server struct {
 // (nil tg builds load.NewTarget(1)). Close stops the listener and all open
 // connections.
 func NewServer(ln net.Listener, tg *load.Target) *Server {
+	return NewServerOpts(ln, tg, Options{})
+}
+
+// NewServerOpts is NewServer with explicit Options (admission control).
+func NewServerOpts(ln net.Listener, tg *load.Target, opts Options) *Server {
 	if tg == nil {
 		tg = load.NewTarget(1)
 	}
-	s := &Server{tg: tg, ln: ln, live: map[net.Conn]struct{}{}}
+	s := &Server{tg: tg, ln: ln, adm: newAdmission(opts.Admission), live: map[net.Conn]struct{}{}}
 	s.wg.Add(1)
 	go s.acceptLoop()
 	return s
@@ -92,11 +105,16 @@ func NewServer(ln net.Listener, tg *load.Target) *Server {
 
 // ListenAndServe listens on addr (TCP) and serves it.
 func ListenAndServe(addr string, tg *load.Target) (*Server, error) {
+	return ListenAndServeOpts(addr, tg, Options{})
+}
+
+// ListenAndServeOpts is ListenAndServe with explicit Options.
+func ListenAndServeOpts(addr string, tg *load.Target, opts Options) (*Server, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, err
 	}
-	return NewServer(ln, tg), nil
+	return NewServerOpts(ln, tg, opts), nil
 }
 
 // Addr returns the listener's address (useful with ":0" listeners).
@@ -261,7 +279,26 @@ func (ss *session) serveFrame(payload []byte, out []byte) []byte {
 			return wire.AppendError(out, f.Seq, wire.EDeadline, "deadline exceeded mid-batch")
 		}
 		code, arg := f.Op(i)
-		v, ok := ss.op(code, arg)
+		var v uint64
+		var ok bool
+		if adm := ss.srv.adm; adm != nil {
+			// Admission: acquire a gate slot before touching a pool. A
+			// queued op waits at most the batch's remaining deadline budget
+			// (MaxWait when the batch carries none); a full queue or an
+			// expired wait sheds the batch with the retryable EShed — the
+			// op was never started, so the client may simply resubmit.
+			wait := adm.cfg.MaxWait
+			if budget > 0 {
+				wait = budget - prev.Sub(t0)
+			}
+			g := adm.acquire(arg, wait)
+			if g == nil {
+				return wire.AppendError(out, f.Seq, wire.EShed, "shed by admission control (queue full or deadline)")
+			}
+			v, ok = ss.opAdmitted(g, code, arg)
+		} else {
+			v, ok = ss.op(code, arg)
+		}
 		if !ok {
 			ss.srv.errs.Add(1)
 			return wire.AppendError(out, f.Seq, wire.EBadOp, "unknown opcode")
@@ -275,6 +312,13 @@ func (ss *session) serveFrame(payload []byte, out []byte) []byte {
 	}
 	ss.vals = vals
 	return wire.AppendReply(out, f.Seq, vals)
+}
+
+// opAdmitted runs one admitted operation and releases its gate slot (also
+// on panic — a dying op must not eat a slot forever).
+func (ss *session) opAdmitted(g *gate, code wire.OpCode, arg uint64) (uint64, bool) {
+	defer g.release()
+	return ss.op(code, arg)
 }
 
 // op executes one operation against the pools. The per-op kinds route by

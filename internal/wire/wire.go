@@ -95,6 +95,12 @@ const (
 	EBadOp uint16 = 3
 	// EDeadline: the batch overran its deadline budget mid-flight.
 	EDeadline uint16 = 4
+	// EShed: the server's admission control refused the batch — a shard
+	// queue was full, or a queued op could not be admitted within the
+	// batch's deadline budget. Unlike the other codes this one is
+	// retryable: the server did not start the failing op, so the client
+	// may resubmit (clients surface it as a typed retryable error).
+	EShed uint16 = 5
 )
 
 // Wire geometry. An op is one opcode byte plus one 64-bit argument; the

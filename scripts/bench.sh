@@ -23,7 +23,13 @@
 # loopback amortization sweep (per-op ns, so batch=64 vs batch=1 reads as
 # the syscall-amortization factor), WireCounterInc, WirePipelinedDo, and
 # the steady/burst catalog scenarios driven through renameload -addr
-# against a live renameserve (rows named BenchmarkScenario/<name>/wire).
+# against a live renameserve (rows named BenchmarkScenario/<name>/wire);
+# BENCH_9.json is the record of the cluster-tier PR — the
+# BenchmarkClusterRename/nodes=1|2|3/batch=1|8|64 scatter-gather fan-out
+# sweep (nodes=1 vs BenchmarkWireRename isolates the router overhead;
+# nodes=3/batch=64 vs nodes=1/batch=64 is the fan-out cost), plus the
+# steady/burst catalog scenarios driven through renameload -ring against a
+# live 3-node loopback ring (rows named BenchmarkScenario/<name>/cluster).
 # scripts/bench_gate.sh compares consecutive records and fails CI on
 # regressions in shared rows).
 #
@@ -57,12 +63,14 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 benchtime="${BENCHTIME:-2s}"
-pattern="${BENCH:-BenchmarkStrongAdaptive\$|BenchmarkStrongAdaptiveHardware|BenchmarkNativeRenaming\$|BenchmarkNativeRenamingFaultArmed|BenchmarkNativeRenamingRecorded|BenchmarkNativeCounter|BenchmarkFreshBuild|BenchmarkInstantiate|BenchmarkCompileCold|BenchmarkBitBatching\$|BenchmarkPhasedInc|BenchmarkAACIncSerial|BenchmarkSweepExec|BenchmarkWire}"
+pattern="${BENCH:-BenchmarkStrongAdaptive\$|BenchmarkStrongAdaptiveHardware|BenchmarkNativeRenaming\$|BenchmarkNativeRenamingFaultArmed|BenchmarkNativeRenamingRecorded|BenchmarkNativeCounter|BenchmarkFreshBuild|BenchmarkInstantiate|BenchmarkCompileCold|BenchmarkBitBatching\$|BenchmarkPhasedInc|BenchmarkAACIncSerial|BenchmarkSweepExec|BenchmarkWire|BenchmarkCluster}"
 parpattern="${PARBENCH:-Throughput}"
 cpus="${CPUS:-1,2,4}"
 scenarios="${SCENARIOS:-steady,burst,churn,phased,phased-churn,skew}"
 wirescenarios="${WIRESCENARIOS:-steady,burst}"
 wireaddr="${WIREADDR:-127.0.0.1:7419}"
+clusterscenarios="${CLUSTERSCENARIOS:-steady,burst}"
+clusterbase="${CLUSTERBASE:-7421}"
 scendur="${SCENDUR:-3s}"
 
 n=1
@@ -106,6 +114,40 @@ $scenrow"
 	done
 	kill "$srvpid" 2>/dev/null
 	wait "$srvpid" 2>/dev/null || true
+fi
+
+# The cluster pass: three renameserve nodes on a loopback ring with
+# disjoint name ranges, driven through the routed scatter path by
+# renameload -ring (rows gain the /cluster name suffix, so in-process,
+# wire, and cluster runs of one scenario sit side by side). Admission
+# control runs at a representative non-shedding setting — the shed
+# regime is CI's cluster-smoke leg, not a latency record.
+if [ "$clusterscenarios" != "none" ]; then
+	if [ -z "${srvbin:-}" ]; then
+		srvbin=$(mktemp -t renameserve.XXXXXX)
+		go build -o "$srvbin" ./cmd/renameserve
+	fi
+	ringfile=$(mktemp -t ring.XXXXXX)
+	{
+		echo "# bench cluster ring: id addr base span"
+		for i in 0 1 2; do
+			echo "$i 127.0.0.1:$((clusterbase + i)) $((i * 1048576)) 1048576"
+		done
+	} >"$ringfile"
+	cpids=""
+	for i in 0 1 2; do
+		"$srvbin" -ring "$ringfile" -node "$i" -admit 64 -quiet &
+		cpids="$cpids $!"
+	done
+	trap 'kill $cpids 2>/dev/null; rm -f "$srvbin" "$ringfile"' EXIT
+	for scen in $(printf '%s' "$clusterscenarios" | tr ',' ' '); do
+		scenrow=$(go run ./cmd/renameload -ring "$ringfile" -scenario "$scen" -duration "$scendur" -gobench)
+		printf '%s\n' "$scenrow" >&2
+		raw="$raw
+$scenrow"
+	done
+	kill $cpids 2>/dev/null
+	wait $cpids 2>/dev/null || true
 fi
 
 {

@@ -26,7 +26,12 @@
 # controller's split/rejoin decisions are timing-dependent, so that row is
 # bimodal run to run (measured 1.3-3.9 µs/op across identical trees on the
 # reference box — a 3× spread with zero code change). The pinned
-# joined/split rows bracket it deterministically and stay gated.
+# joined/split rows bracket it deterministically and stay gated. The
+# Wire/ClusterPipelinedDo rows are skipped for the same reason: how many
+# concurrent Do callers coalesce into one group-committed frame is a
+# scheduling race, so their per-op cost flips between a coalesced and a
+# frame-per-op regime run to run; the explicit-batch Rename sweeps pin the
+# same wire path deterministically and stay gated.
 #
 # Usage:
 #   scripts/bench_gate.sh BASE.json NEW.json [threshold-pct]
@@ -54,7 +59,7 @@ base="$1"
 new="$2"
 threshold="${3:-${GATE_THRESHOLD:-15}}"
 raw="${GATE_RAW:-0}"
-skip="${GATE_SKIP:-^BenchmarkPhasedCounterThroughput(-[0-9]+)?$}"
+skip="${GATE_SKIP:-^BenchmarkPhasedCounterThroughput(-[0-9]+)?$|^BenchmarkWirePipelinedDo(-[0-9]+)?$|^BenchmarkClusterPipelinedDo(-[0-9]+)?$}"
 
 for f in "$base" "$new"; do
 	if [ ! -f "$f" ]; then
