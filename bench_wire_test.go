@@ -74,6 +74,38 @@ func BenchmarkWireRename(b *testing.B) {
 	}
 }
 
+// BenchmarkWireRenameTraced is the tracing A/B row: the batch=64 rename
+// sweep with end-to-end tracing armed — every frame carries a trace id
+// and stage echo, and 1-in-64 trace ids record spans — against the
+// untraced BenchmarkWireRename/batch=64 baseline. The delta is the whole
+// observed cost of the tentpole on the serving path; the disarmed path
+// is additionally pinned to stay within the noise of the BENCH_9
+// baseline (scripts/bench.sh gate).
+func BenchmarkWireRenameTraced(b *testing.B) {
+	c := newWireBench(b)
+	col := renaming.NewTraceCollector()
+	defer col.Close()
+	col.Arm(64)
+	c.SetTrace(col, -1)
+	bt := c.NewBatch()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for done := 0; done < b.N; {
+		n := 64
+		if rem := b.N - done; n > rem {
+			n = rem
+		}
+		bt.Reset()
+		for i := 0; i < n; i++ {
+			bt.Rename(uint64(i & 7))
+		}
+		if _, err := bt.Commit(); err != nil {
+			b.Fatal(err)
+		}
+		done += n
+	}
+}
+
 // BenchmarkWireCounterInc is the counter path over the wire at a working
 // batch size.
 func BenchmarkWireCounterInc(b *testing.B) {

@@ -30,14 +30,20 @@
 // not travel over the wire; a scenario's own catalog plan is stripped with
 // a note). -deadline arms a per-batch server-side budget; servers running
 // admission control shed late batches typed and retryable, counted in the
-// report's sheds field without failing the verdict.
+// report's sheds field without failing the verdict. -trace N arms
+// end-to-end tracing: every frame carries a trace id whose reply echoes
+// the server's stage decomposition (reported as the stages row under the
+// latency table), sampled ids record spans at every hop, and after the run
+// the N slowest client-side chains print with their per-hop breakdown
+// (the same trace ids index the server-side spans on each node's /trace
+// endpoint).
 //
 // Usage:
 //
 //	renameload -list
 //	renameload [-scenario churn] [-rate R] [-duration D] [-workers N]
 //	           [-ops N] [-seed S] [-faults 1@8,3@20|none] [-runtime sim]
-//	           [-addr host:port | -ring ring.txt] [-deadline D]
+//	           [-addr host:port | -ring ring.txt] [-deadline D] [-trace N]
 //	           [-json] [-gobench]
 package main
 
@@ -65,6 +71,7 @@ func main() {
 	addr := flag.String("addr", "", "drive a renameserve wire server at this address instead of in-process pools (native runtime only)")
 	ringPath := flag.String("ring", "", "drive a renameserve cluster described by this ring file, routing ops by key across its nodes (native runtime only)")
 	deadline := flag.Duration("deadline", 0, "per-batch server-side processing budget over -addr/-ring (0 = none); with server admission control, also bounds how long a queued op may wait before it is shed")
+	traceK := flag.Int("trace", 0, "arm end-to-end tracing over -addr/-ring and print the N slowest traced chains with their per-hop spans after the run; every frame then carries a stage echo (the report's stages row) and 1-in-64 trace ids record spans")
 	jsonOut := flag.Bool("json", false, "emit the report as JSON")
 	gobench := flag.Bool("gobench", false, "emit one go-bench-style result line (scripts/bench.sh folds these into BENCH_<n>.json)")
 	flag.Parse()
@@ -134,10 +141,19 @@ func main() {
 		// plan; catalog-armed plans are stripped with a note below.)
 		fmt.Fprintln(os.Stderr, "renameload: -faults cannot combine with -addr/-ring: fault plans arm in-process wave processes and do not travel over the wire (use -faults none to disarm a scenario's own plan)")
 		os.Exit(2)
+	case *traceK > 0 && !remote:
+		fmt.Fprintln(os.Stderr, "renameload: -trace follows operations across the wire and needs -addr or -ring (in-process runs have no hops to trace)")
+		os.Exit(2)
 	case remote:
 		if s.Faults != nil {
 			fmt.Fprintln(os.Stderr, "renameload: note: fault plans do not travel over the wire; remote waves run fault-free")
 			s.Faults = nil
+		}
+		var col *renaming.TraceCollector
+		if *traceK > 0 {
+			col = renaming.NewTraceCollector()
+			col.Arm(64)
+			defer col.Close()
 		}
 		var rem renaming.RemoteTransport
 		if *ringPath != "" {
@@ -153,6 +169,9 @@ func main() {
 			}
 			defer c.Close()
 			c.SetOpDeadline(*deadline)
+			if col != nil {
+				c.SetTrace(col)
+			}
 			rem = c
 		} else {
 			c, err := renaming.DialWire(*addr, 5*time.Second)
@@ -162,9 +181,19 @@ func main() {
 			}
 			defer c.Close()
 			c.SetOpDeadline(*deadline)
+			if col != nil {
+				c.SetTrace(col, -1)
+			}
 			rem = c
 		}
 		r = renaming.RunScenarioRemote(s, rem)
+		if col != nil {
+			// Chains go to stderr so -json consumers still read a clean
+			// report from stdout.
+			col.Fold()
+			fmt.Fprintf(os.Stderr, "slowest traced chains (client side; server-side spans for the same trace ids are on each node's /trace):\n")
+			col.WriteChains(os.Stderr, *traceK, renaming.WireOpName)
+		}
 	case *runtimeName == "native":
 		r = renaming.RunScenario(s, nil)
 	case *runtimeName == "sim":

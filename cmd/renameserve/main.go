@@ -1,14 +1,19 @@
 // Command renameserve runs the networked serving tier: the batched binary
 // wire protocol (internal/wire) served over TCP against the sharded
 // serving pools (internal/serve, internal/phase). cmd/renameload -addr
-// drives it with the full scenario catalog; any connection that starts
-// with "GET " receives a plain-text metrics dump (pool in-flight and retry
-// gauges, phased-counter mode, admission shed counters, merged op-latency
-// quantiles), so
+// drives it with the full scenario catalog; any connection that opens with
+// an HTTP method is routed to the observability surface on the same port
+// the wire protocol is served on:
 //
-//	curl http://<addr>/metrics
+//	curl http://<addr>/metrics          # gauges, counters, op-latency histograms
+//	curl http://<addr>/trace            # recent trace spans + slowest-op exemplars
+//	curl http://<addr>/debug/pprof/heap # runtime profiles (also profile, goroutine)
 //
-// works against the same port the wire protocol is served on.
+// /metrics carries pool in-flight and retry gauges, phased-counter mode,
+// admission shed counters, merged per-op latency quantiles and cumulative
+// histogram buckets with slowest-op trace-id exemplars; /trace emits the
+// server-side spans recorded for sampled traced batches (renameload
+// -trace arms the client side).
 //
 // With -ring the process serves one node of a cluster: the ring file
 // (one "id addr base span" line per node) names every node's address and
@@ -55,12 +60,15 @@ func main() {
 	quiet := flag.Bool("quiet", false, "skip the metrics dump on shutdown")
 	flag.Parse()
 
+	// NodeID -1 = standalone (no node attribution on trace spans); a -ring
+	// node stamps its ring id on every span it records, which is what lets
+	// a cross-node trace chain name the hop that hurt.
 	opts := renaming.WireOptions{Admission: renaming.WireAdmissionConfig{
 		PerShard: *admit,
 		Shards:   *admitShards,
 		Queue:    *admitQueue,
 		MaxWait:  *admitWait,
-	}}
+	}, NodeID: -1}
 
 	listenAddr := *addr
 	var nd *renaming.ClusterNode
@@ -77,6 +85,7 @@ func main() {
 		n := ring.Node(*node)
 		nd = &n
 		listenAddr = n.Addr
+		opts.NodeID = n.ID
 	}
 
 	srv, err := renaming.ListenWireOpts(listenAddr, renaming.NewLoadTarget(*seed), opts)

@@ -242,8 +242,11 @@
 // RunScenarioWire (and cmd/renameload -addr) drives the full scenario
 // catalog through this path with the open-loop scheduling and
 // coordinated-omission accounting unchanged, against cmd/renameserve on
-// the other side; any connection starting with "GET " gets a plain-text
-// metrics dump of the pools' live gauges instead of the binary protocol.
+// the other side; any connection opening with an HTTP method gets the
+// observability surface instead of the binary protocol — /metrics
+// (plain-text gauges, counters, and per-op latency histograms), /trace
+// (recorded spans; see "Tracing"), and /debug/pprof (runtime profiles) on
+// the same port.
 //
 // # Clustered serving
 //
@@ -286,6 +289,38 @@
 // cmd/renameload -ring (and RunScenarioCluster) drives the whole cluster
 // through the routed path; BENCHMARKS.md "The cluster tier" holds the
 // fan-out and shed-under-burst measurements.
+//
+// # Tracing
+//
+// The tracing layer (NewTraceCollector, internal/obs) answers the
+// question the latency quantiles cannot: which hop hurt. A client arms a
+// TraceCollector on its connection (WireClient.SetTrace,
+// ClusterClient.SetTrace, renameload -trace); from then on every frame
+// carries a trace id as a negotiated wire extension — old peers still
+// parse the base frame — and every reply echoes the server's stage
+// decomposition, so each round trip splits into admission wait, shard
+// execution, server queue/parse overhead, and network/client time
+// (LoadStages; the load report's stages row). Trace ids whose low bits
+// clear a power-of-two sampling mask additionally record spans at every
+// hop they cross:
+//
+//	client_op / gather ─ the client round trip (one sub_batch per node)
+//	frame              ─ the server's dequeue-to-reply window
+//	admit              ─ an admission-gate wait (wait ns + shed flag)
+//	op                 ─ one shard execution (op code, shard, phase mode)
+//
+// every span node-attributed on a cluster, all under one trace id, so a
+// tail operation reads as a chain: which node, which shard, queued how
+// long, shed or served. Recording is allocation-free — fixed-size spans
+// into per-shard seqlock ring buffers, a background folder maintaining
+// the recent window and slowest-span exemplars — so the disarmed path
+// costs one load-and-branch and the armed path stays pinned at zero
+// allocations alongside the serve path it measures. Server-side spans
+// serve on each node's /trace endpoint as JSON lines next to /metrics
+// (whose per-op histograms carry slowest-op trace-id exemplars — the
+// bridge from an aggregate to a chain); renameload -trace N prints the N
+// slowest client-side chains after a run. BENCHMARKS.md "Observability"
+// holds the overhead measurements.
 //
 // # Schedule sweeps
 //

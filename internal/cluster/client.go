@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/load"
 	"repro/internal/netserve"
+	"repro/internal/obs"
 	"repro/internal/wire"
 )
 
@@ -35,6 +36,7 @@ func (e *NodeError) Unwrap() error { return e.Err }
 type Client struct {
 	ring  *Ring
 	conns []*netserve.Client
+	col   *obs.Collector // SetTrace; nil = tracing off
 }
 
 // Dial connects to every node of the ring. Each node's dial retries with
@@ -96,6 +98,35 @@ func (c *Client) SetOpDeadline(d time.Duration) {
 	}
 }
 
+// SetTrace arms end-to-end tracing on every node connection, sharing one
+// collector: each sub-frame carries a trace id, node replies echo their
+// stage decomposition, and sampled scatter-gather batches record a
+// cluster-side span tree — one obs.KindGather root per batch with one
+// obs.KindSubBatch child per touched node, node-attributed by ring id,
+// linked by trace to the server-side frame and op spans each node records
+// locally. Call before the client is used concurrently.
+func (c *Client) SetTrace(col *obs.Collector) {
+	c.col = col
+	for i, cc := range c.conns {
+		cc.SetTrace(col, c.ring.nodes[i].ID)
+	}
+}
+
+// Stages sums the per-stage round-trip decomposition over every node
+// connection (load.StageSource; zero until SetTrace arms tracing).
+func (c *Client) Stages() load.Stages {
+	var st load.Stages
+	for _, cc := range c.conns {
+		s := cc.Stages()
+		st.Frames += s.Frames
+		st.RTTNS += s.RTTNS
+		st.SrvNS += s.SrvNS
+		st.AdmitNS += s.AdmitNS
+		st.ExecNS += s.ExecNS
+	}
+	return st
+}
+
 // Do issues one operation routed by key and blocks for its value. Rename
 // replies come back offset into the owning node's range — the cluster-wide
 // name. Failures carry the node: a *NodeError wrapping the wire client's
@@ -146,6 +177,14 @@ type Batch struct {
 	order    []slot
 	vals     []uint64
 	deadline time.Duration
+
+	// Per-gather trace context (client tracing armed): one trace id spans
+	// every sub-batch; gather is the root span id the sub-batch spans
+	// parent under when the id is sampled.
+	trace   uint64
+	sampled bool
+	gather  uint64
+	t0      int64
 }
 
 // NewBatch returns an empty scatter-gather batch bound to the client.
@@ -228,12 +267,24 @@ func (b *Batch) Send() error {
 	if len(b.order) == 0 {
 		return errors.New("cluster: empty batch")
 	}
+	b.trace, b.sampled, b.gather = 0, false, 0
+	if col := b.c.col; col != nil {
+		b.trace = col.NextTrace()
+		b.sampled = col.Sampled(b.trace)
+		if b.sampled {
+			b.gather = col.NextID()
+		}
+		b.t0 = time.Now().UnixNano()
+	}
 	for i, sub := range b.subs {
 		if sub.Len() == 0 {
 			continue
 		}
 		if b.deadline > 0 {
 			sub.WithDeadline(b.deadline)
+		}
+		if b.trace != 0 {
+			sub.WithTrace(b.trace, b.sampled).WithSpanParent(b.gather)
 		}
 		if err := sub.Send(); err != nil {
 			b.errs[i] = &NodeError{Node: b.c.ring.nodes[i], Err: err}
@@ -281,6 +332,15 @@ func (b *Batch) Wait() ([]uint64, error) {
 		}
 		b.vals = append(b.vals, v)
 	}
+	if b.sampled && b.c.col != nil {
+		// The gather root: scatter to last sub-reply, with the sub-batch
+		// spans (recorded on each connection's read loop) as children.
+		b.c.col.Record(obs.Span{
+			Trace: b.trace, ID: b.gather, Kind: obs.KindGather,
+			Start: b.t0, Dur: time.Now().UnixNano() - b.t0,
+			Attr: obs.PackOps(len(b.order), -1),
+		})
+	}
 	return b.vals, first
 }
 
@@ -326,6 +386,7 @@ func (c *Client) Op(kind load.RemoteOp, key uint64, k int) (uint64, error) {
 func (c *Client) TransportName() string { return "cluster" }
 
 var (
-	_ load.Remote = (*Client)(nil)
-	_ load.Namer  = (*Client)(nil)
+	_ load.Remote      = (*Client)(nil)
+	_ load.Namer       = (*Client)(nil)
+	_ load.StageSource = (*Client)(nil)
 )

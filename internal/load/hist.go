@@ -142,9 +142,48 @@ func (h *Hist) Quantile(q float64) uint64 {
 	return h.max
 }
 
+// Buckets calls fn once per power-of-two upper bound le (32, 64, 128, …)
+// with the cumulative count of samples strictly below le, skipping leading
+// bounds with nothing under them and stopping at the first bound covering
+// every sample — the Prometheus-style cumulative `_bucket{le=...}`
+// surface. Power-of-two bounds align exactly with major-bucket edges, so
+// the counts carry no bucket quantization (the < vs ≤ boundary difference
+// is one representable value, far below the histogram's 1/32 relative
+// error).
+func (h *Hist) Buckets(fn func(le uint64, cum uint64)) {
+	if h.n == 0 {
+		return
+	}
+	var cum uint64
+	for maj := 0; maj < 63; maj++ {
+		var row uint64
+		for sub := 0; sub < 32; sub++ {
+			row += h.counts[maj][sub]
+		}
+		cum += row
+		// Major row 0 holds values 0..31 exactly (≤ 2^5); row m ≥ 1 holds
+		// values < 2^(m+5), so its upper bound is 2^(m+5)-1 ≤ le 2^(m+5).
+		le := uint64(1) << (maj + 5)
+		if cum == 0 {
+			continue // nothing recorded this low yet
+		}
+		fn(le, cum)
+		if cum == h.n {
+			return // every sample covered; higher bounds add nothing
+		}
+	}
+	fn(1<<63, h.n) // top row: everything fits below 2^63 or lands here
+}
+
 // Merge adds o's samples into h. Only call it after both histograms'
 // writers have stopped.
 func (h *Hist) Merge(o *Hist) {
+	if o.n == 0 {
+		// Merging an empty shard is free — periodic folds of per-opcode
+		// shard arrays mostly merge empties, and a 16KiB scan each would
+		// dominate the fold.
+		return
+	}
 	for maj := 0; maj < 64; maj++ {
 		for sub := 0; sub < 32; sub++ {
 			h.counts[maj][sub] += o.counts[maj][sub]
@@ -159,5 +198,8 @@ func (h *Hist) Merge(o *Hist) {
 
 // Reset clears the histogram in place.
 func (h *Hist) Reset() {
+	if h.n == 0 {
+		return // already clear: n is incremented by every Record
+	}
 	*h = Hist{}
 }

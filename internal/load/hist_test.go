@@ -95,6 +95,44 @@ func TestHistBucketRepresentative(t *testing.T) {
 // TestHistMergeConcurrent is the sharded-merge pattern under -race: each
 // worker records into its private shard concurrently; the post-join merge
 // must equal a single histogram fed the same samples.
+// TestHistBuckets pins the cumulative-bucket surface: monotone counts,
+// exact strict-below semantics at power-of-two bounds, and a final bound
+// covering every sample.
+func TestHistBuckets(t *testing.T) {
+	var h Hist
+	calls := 0
+	h.Buckets(func(le, cum uint64) { calls++ })
+	if calls != 0 {
+		t.Fatalf("empty hist emitted %d buckets, want 0", calls)
+	}
+	samples := []uint64{0, 1, 31, 32, 63, 64, 1000, 1 << 20, 1<<40 + 5}
+	for _, v := range samples {
+		h.Record(v)
+	}
+	var prevLE, prevCum, last uint64
+	h.Buckets(func(le, cum uint64) {
+		if le <= prevLE {
+			t.Fatalf("bucket bounds not increasing: %d after %d", le, prevLE)
+		}
+		if cum < prevCum {
+			t.Fatalf("cumulative count decreased: %d after %d", cum, prevCum)
+		}
+		var want uint64
+		for _, v := range samples {
+			if v < le {
+				want++
+			}
+		}
+		if cum != want {
+			t.Fatalf("bucket le=%d cum=%d, want %d (strictly-below count)", le, cum, want)
+		}
+		prevLE, prevCum, last = le, cum, cum
+	})
+	if last != uint64(len(samples)) {
+		t.Fatalf("final bucket covers %d samples, want %d", last, len(samples))
+	}
+}
+
 func TestHistMergeConcurrent(t *testing.T) {
 	const workers = 8
 	const perWorker = 50000

@@ -75,3 +75,63 @@ func IsShed(err error) bool {
 type Namer interface {
 	TransportName() string
 }
+
+// Stages is the cumulative per-stage decomposition of a transport's traced
+// round trips: for every traced frame the server echoes how long it held
+// the frame (Srv) and how much of that was admission waiting (Admit) and
+// shard execution (Exec); the client adds the wall round trip (RTT). The
+// two derived stages close the accounting:
+//
+//	queue  = Srv − Admit − Exec   (server-side scheduling/parse overhead)
+//	reply  = RTT − Srv            (network + client completion)
+//
+// All fields are nanosecond sums over Frames frames, so a mean per frame
+// is field/Frames.
+type Stages struct {
+	Frames  uint64 `json:"frames"`
+	RTTNS   uint64 `json:"rtt_ns"`
+	SrvNS   uint64 `json:"srv_ns"`
+	AdmitNS uint64 `json:"admit_ns"`
+	ExecNS  uint64 `json:"exec_ns"`
+}
+
+// Sub returns the stage deltas s − o (a run's share of a cumulative
+// counter set; saturates at zero so a racing reader cannot go negative).
+func (s Stages) Sub(o Stages) Stages {
+	sub := func(a, b uint64) uint64 {
+		if a < b {
+			return 0
+		}
+		return a - b
+	}
+	return Stages{
+		Frames:  sub(s.Frames, o.Frames),
+		RTTNS:   sub(s.RTTNS, o.RTTNS),
+		SrvNS:   sub(s.SrvNS, o.SrvNS),
+		AdmitNS: sub(s.AdmitNS, o.AdmitNS),
+		ExecNS:  sub(s.ExecNS, o.ExecNS),
+	}
+}
+
+// QueueNS returns the derived server queue/overhead stage sum.
+func (s Stages) QueueNS() uint64 {
+	if s.SrvNS < s.AdmitNS+s.ExecNS {
+		return 0
+	}
+	return s.SrvNS - s.AdmitNS - s.ExecNS
+}
+
+// ReplyNS returns the derived network + client completion stage sum.
+func (s Stages) ReplyNS() uint64 {
+	if s.RTTNS < s.SrvNS {
+		return 0
+	}
+	return s.RTTNS - s.SrvNS
+}
+
+// StageSource is a Remote that decomposes its round trips into stages
+// (the wire and cluster clients do, once tracing is armed). RunRemote
+// snapshots it around the run and reports the delta in Report.Stages.
+type StageSource interface {
+	Stages() Stages
+}

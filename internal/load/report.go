@@ -57,9 +57,13 @@ type Report struct {
 	Transport  string `json:"transport,omitempty"`
 	RemoteErrs uint64 `json:"remote_errs,omitempty"`
 	Sheds      uint64 `json:"sheds,omitempty"`
-	Seed       uint64 `json:"seed"`
-	Workers    int    `json:"workers"`
-	Arrival    string `json:"arrival"`
+	// Stages decomposes the run's traced round trips into per-stage
+	// nanosecond sums (set only when the transport is a StageSource with
+	// tracing armed; see Stages for the accounting identity).
+	Stages  *Stages `json:"stages,omitempty"`
+	Seed    uint64  `json:"seed"`
+	Workers int     `json:"workers"`
+	Arrival string  `json:"arrival"`
 	// Unit is the latency unit of the quantile fields: "ns" (native) or
 	// "steps" (simulator).
 	Unit string `json:"unit"`
@@ -237,6 +241,11 @@ func (r *Report) Fprint(w io.Writer) {
 	line(sep)
 	for _, row := range rows {
 		line(row)
+	}
+	if st := r.Stages; st != nil && st.Frames > 0 {
+		mean := func(ns uint64) float64 { return float64(ns) / float64(st.Frames) / 1e3 }
+		fmt.Fprintf(w, "  stages (mean/frame over %d traced frames): rtt %.1fµs = srv %.1fµs (admit %.1f + exec %.1f + queue %.1f) + net/client %.1fµs\n",
+			st.Frames, mean(st.RTTNS), mean(st.SrvNS), mean(st.AdmitNS), mean(st.ExecNS), mean(st.QueueNS()), mean(st.ReplyNS()))
 	}
 	fmt.Fprintf(w, "  verdict: %s\n", r.Verdict)
 }

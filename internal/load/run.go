@@ -191,6 +191,14 @@ func run(s Scenario, tg *Target, rem Remote) *Report {
 		perWorkerBudget = (s.Ops + uint64(s.Workers) - 1) / uint64(s.Workers)
 	}
 
+	// Stage accounting is cumulative on the transport; snapshot before the
+	// workers start so the report carries this run's delta only.
+	var stages0 Stages
+	stageSrc, _ := rem.(StageSource)
+	if stageSrc != nil {
+		stages0 = stageSrc.Stages()
+	}
+
 	start := time.Now()
 	var wg sync.WaitGroup
 	for _, w := range workers {
@@ -221,6 +229,11 @@ func run(s Scenario, tg *Target, rem Remote) *Report {
 		}
 		r.RemoteErrs = remoteErrs.Load()
 		r.Sheds = sheds.Load()
+		if stageSrc != nil {
+			if st := stageSrc.Stages().Sub(stages0); st.Frames > 0 {
+				r.Stages = &st
+			}
+		}
 		r.Verdict = r.check()
 	}
 	return r

@@ -128,14 +128,17 @@ func hashKey(k uint64) uint64 {
 
 // acquire admits one op routed by key, waiting up to wait for a slot when
 // the gate is saturated (wait ≤ 0 means no queueing at all: shed unless a
-// slot is free right now). Returns the gate to release, or nil when the
-// op was shed.
-func (a *admission) acquire(key uint64, wait time.Duration) *gate {
+// slot is free right now). Returns the gate to release — nil when the op
+// was shed — and how long the op actually waited queued (0 on the fast
+// path and on an immediate full-queue shed; measured only on the queued
+// path, so the fast path stays free of time syscalls). The wait feeds the
+// reply's stage echo and, on sampled batches, a KindAdmit span.
+func (a *admission) acquire(key uint64, wait time.Duration) (*gate, time.Duration) {
 	g := &a.gates[hashKey(key)&a.mask]
 	select {
 	case <-g.slots:
 		a.admitted.Add(1)
-		return g
+		return g, 0
 	default:
 	}
 	// Saturated: join the bounded queue, or shed.
@@ -144,20 +147,21 @@ func (a *admission) acquire(key uint64, wait time.Duration) *gate {
 			g.queued.Add(-1)
 		}
 		a.shed.Add(1)
-		return nil
+		return nil, 0
 	}
 	a.waits.Add(1)
+	t0 := time.Now()
 	t := time.NewTimer(wait)
 	select {
 	case <-g.slots:
 		t.Stop()
 		g.queued.Add(-1)
 		a.admitted.Add(1)
-		return g
+		return g, time.Since(t0)
 	case <-t.C:
 		g.queued.Add(-1)
 		a.shed.Add(1)
-		return nil
+		return nil, time.Since(t0)
 	}
 }
 

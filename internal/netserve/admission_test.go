@@ -20,7 +20,7 @@ func TestAdmissionGate(t *testing.T) {
 		t.Fatalf("admission disabled despite PerShard=1")
 	}
 
-	g := a.acquire(7, time.Millisecond)
+	g, _ := a.acquire(7, time.Millisecond)
 	if g == nil {
 		t.Fatalf("uncontended acquire shed")
 	}
@@ -29,7 +29,7 @@ func TestAdmissionGate(t *testing.T) {
 	}
 
 	// Saturated, no wait budget: immediate shed.
-	if a.acquire(7, 0) != nil {
+	if g0, _ := a.acquire(7, 0); g0 != nil {
 		t.Fatalf("acquire with wait 0 on a saturated gate admitted")
 	}
 	if a.shed.Load() != 1 {
@@ -38,8 +38,8 @@ func TestAdmissionGate(t *testing.T) {
 
 	// Saturated, short wait, nobody releasing: shed after the wait.
 	start := time.Now()
-	if a.acquire(7, 5*time.Millisecond) != nil {
-		t.Fatalf("timed acquire admitted with the slot still held")
+	if gt, w := a.acquire(7, 5*time.Millisecond); gt != nil || w < 4*time.Millisecond {
+		t.Fatalf("timed acquire: admitted=%v measured wait=%v, want shed after ~5ms with the wait reported", gt != nil, w)
 	}
 	if el := time.Since(start); el < 4*time.Millisecond {
 		t.Fatalf("timed acquire shed after %v, want ≥ ~5ms (it must actually wait)", el)
@@ -56,7 +56,7 @@ func TestAdmissionGate(t *testing.T) {
 	go func() {
 		defer wg.Done()
 		close(waiterIn)
-		if g2 := a.acquire(7, time.Second); g2 != nil {
+		if g2, _ := a.acquire(7, time.Second); g2 != nil {
 			g2.release()
 		}
 	}()
@@ -69,7 +69,7 @@ func TestAdmissionGate(t *testing.T) {
 		time.Sleep(100 * time.Microsecond)
 	}
 	start = time.Now()
-	if a.acquire(7, time.Second) != nil {
+	if gq, _ := a.acquire(7, time.Second); gq != nil {
 		t.Fatalf("acquire admitted past a full queue")
 	}
 	if el := time.Since(start); el > 100*time.Millisecond {
@@ -80,7 +80,7 @@ func TestAdmissionGate(t *testing.T) {
 	// the fast path again.
 	g.release()
 	wg.Wait()
-	if g3 := a.acquire(7, 0); g3 == nil {
+	if g3, _ := a.acquire(7, 0); g3 == nil {
 		t.Fatalf("gate not reusable after release cycle")
 	} else {
 		g3.release()

@@ -6,9 +6,11 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/load"
+	"repro/internal/obs"
 	"repro/internal/wire"
 )
 
@@ -100,6 +102,16 @@ type Client struct {
 	maxBatch int
 	deadline uint64 // per-frame budget for group-committed frames, ns
 
+	// Tracing (SetTrace): with col set, every frame goes out traced — the
+	// server echoes its stage decomposition on each reply — and frames
+	// whose trace id the collector samples additionally record client-side
+	// spans. col and tnode are set before the client is used concurrently.
+	col   *obs.Collector
+	tnode int // node attribution for client-side spans (-1 = none)
+
+	// Cumulative stage sums over traced frames (load.StageSource).
+	stFrames, stRTT, stSrv, stAdmit, stExec atomic.Uint64
+
 	waiters sync.Pool
 	groups  sync.Pool
 }
@@ -111,6 +123,7 @@ func NewClient(conn net.Conn) *Client {
 		readerDone: make(chan struct{}),
 		pending:    map[uint64]completer{},
 		maxBatch:   wire.MaxOps,
+		tnode:      -1,
 	}
 	c.waiters.New = func() any { return &waiter{done: make(chan struct{}, 1)} }
 	c.groups.New = func() any { return &groupFrame{c: c} }
@@ -169,6 +182,73 @@ func (c *Client) SetOpDeadline(d time.Duration) {
 		d = 0
 	}
 	c.deadline = uint64(d)
+}
+
+// SetTrace arms end-to-end tracing: every subsequent frame carries a
+// trace id drawn from col (wire.AppendBatchTraced), so the server echoes
+// its per-frame stage decomposition — accumulated into Stages — and
+// frames whose id the collector's sampling mask selects record
+// client-side spans (obs.KindClientOp, or obs.KindSubBatch when the
+// frame is a cluster sub-batch) into col. node attributes those spans
+// to a cluster node; pass a negative node for standalone clients. Call
+// before the client is used concurrently; col == nil disarms.
+func (c *Client) SetTrace(col *obs.Collector, node int) {
+	c.col = col
+	c.tnode = node
+}
+
+// Tracing reports whether SetTrace armed a collector.
+func (c *Client) Tracing() bool { return c.col != nil }
+
+// Stages returns the cumulative per-stage sums over this connection's
+// traced frames (zero until SetTrace arms tracing). Implements
+// load.StageSource, so RunRemote reports the per-run delta.
+func (c *Client) Stages() load.Stages {
+	return load.Stages{
+		Frames:  c.stFrames.Load(),
+		RTTNS:   c.stRTT.Load(),
+		SrvNS:   c.stSrv.Load(),
+		AdmitNS: c.stAdmit.Load(),
+		ExecNS:  c.stExec.Load(),
+	}
+}
+
+// noteReply folds one traced frame's completion into the stage sums and,
+// when the frame was sampled, records its client-side span. Runs on the
+// read loop — allocation-free by the same contract as the server's
+// record path.
+func (c *Client) noteReply(trace uint64, sampled bool, parent uint64, t0 int64, nops int, op wire.OpCode, f *wire.Frame) {
+	rtt := time.Now().UnixNano() - t0
+	if rtt < 0 {
+		rtt = 0
+	}
+	c.stFrames.Add(1)
+	c.stRTT.Add(uint64(rtt))
+	if f.Staged {
+		c.stSrv.Add(f.SrvNS)
+		c.stAdmit.Add(f.AdmitNS)
+		c.stExec.Add(f.ExecNS)
+	}
+	if !sampled || c.col == nil {
+		return
+	}
+	kind, attr := obs.KindClientOp, obs.PackOp(uint8(op), 0, 0, c.tnode)
+	if parent != 0 {
+		kind, attr = obs.KindSubBatch, obs.PackOps(nops, c.tnode)
+	}
+	c.col.Record(obs.Span{
+		Trace: trace, Parent: parent, Kind: kind,
+		Start: t0, Dur: rtt, Attr: attr,
+	})
+}
+
+// frameTrace draws the next frame's trace id (0 = untraced).
+func (c *Client) frameTrace() (uint64, bool) {
+	if c.col == nil {
+		return 0, false
+	}
+	tr := c.col.NextTrace()
+	return tr, c.col.Sampled(tr)
 }
 
 // Close tears the connection down: every queued and in-flight operation
@@ -241,7 +321,11 @@ func (c *Client) flushQueue() {
 			for _, w := range chunk {
 				g.ops = append(g.ops, w.op)
 			}
-			if err := c.send(g, g.ops, c.deadline); err != nil {
+			g.trace, g.sampled = c.frameTrace()
+			if g.trace != 0 {
+				g.t0 = time.Now().UnixNano()
+			}
+			if err := c.send(g, g.ops, c.deadline, g.trace, g.sampled); err != nil {
 				// Pre-flight failure (connection already down): fail this
 				// chunk and everything behind it directly.
 				g.fail(err)
@@ -261,9 +345,12 @@ func (c *Client) flushQueue() {
 
 // groupFrame is the completer of one group-committed frame (pooled).
 type groupFrame struct {
-	c   *Client
-	ws  []*waiter
-	ops []wire.Op
+	c       *Client
+	ws      []*waiter
+	ops     []wire.Op
+	trace   uint64
+	sampled bool
+	t0      int64
 }
 
 func (g *groupFrame) complete(f *wire.Frame) error {
@@ -271,6 +358,9 @@ func (g *groupFrame) complete(f *wire.Frame) error {
 		err := fmt.Errorf("netserve: reply carries %d values for a %d-op frame", f.Ops(), len(g.ws))
 		g.fail(&DroppedError{Cause: err})
 		return err
+	}
+	if g.trace != 0 {
+		g.c.noteReply(g.trace, g.sampled, 0, g.t0, len(g.ops), g.ops[0].Code, f)
 	}
 	for i, w := range g.ws {
 		w.val = f.Val(i)
@@ -306,6 +396,15 @@ type Batch struct {
 	deadline uint64
 	err      error
 	done     chan struct{}
+
+	// Trace context. trace/sampled are explicit (WithTrace — the cluster
+	// client stamps one gather-wide trace on every sub-batch) or drawn
+	// from the client's collector per Send; parent links this frame's
+	// span under a caller-side root span (the cluster gather).
+	trace   uint64
+	sampled bool
+	parent  uint64
+	t0      int64
 }
 
 // NewBatch returns an empty batch bound to the client.
@@ -313,10 +412,27 @@ func (c *Client) NewBatch() *Batch {
 	return &Batch{c: c, done: make(chan struct{}, 1)}
 }
 
-// Reset clears the batch's ops and deadline for reuse.
+// Reset clears the batch's ops, deadline, and trace context for reuse.
 func (b *Batch) Reset() *Batch {
 	b.ops = b.ops[:0]
 	b.deadline = 0
+	b.trace, b.sampled, b.parent = 0, false, 0
+	return b
+}
+
+// WithTrace stamps an explicit trace id on the batch's next Send (the
+// cluster client propagates one gather-wide id to every sub-batch this
+// way). Without it, a tracing client draws a fresh id per Send.
+func (b *Batch) WithTrace(trace uint64, sampled bool) *Batch {
+	b.trace, b.sampled = trace, sampled
+	return b
+}
+
+// WithSpanParent parents the batch's client-side span under a caller
+// span (the cluster gather root); the span is then recorded as
+// obs.KindSubBatch instead of obs.KindClientOp.
+func (b *Batch) WithSpanParent(parent uint64) *Batch {
+	b.parent = parent
 	return b
 }
 
@@ -366,7 +482,13 @@ func (b *Batch) Send() error {
 	if len(b.ops) == 0 {
 		return errors.New("netserve: empty batch")
 	}
-	return b.c.send(b, b.ops, b.deadline)
+	if b.trace == 0 {
+		b.trace, b.sampled = b.c.frameTrace()
+	}
+	if b.trace != 0 {
+		b.t0 = time.Now().UnixNano()
+	}
+	return b.c.send(b, b.ops, b.deadline, b.trace, b.sampled)
 }
 
 // Wait blocks for the batch's reply and returns one value per op. The
@@ -395,6 +517,9 @@ func (b *Batch) complete(f *wire.Frame) error {
 		b.fail(&DroppedError{Cause: err})
 		return err
 	}
+	if b.trace != 0 {
+		b.c.noteReply(b.trace, b.sampled, b.parent, b.t0, len(b.ops), b.ops[0].Code, f)
+	}
 	b.vals = b.vals[:0]
 	for i := 0; i < f.Ops(); i++ {
 		b.vals = append(b.vals, f.Val(i))
@@ -411,7 +536,7 @@ func (b *Batch) fail(err error) {
 // send registers entry under a fresh sequence number and writes one frame.
 // The write is one syscall per frame — the frame is the batch, so the
 // syscall cost is amortized exactly by the batch size.
-func (c *Client) send(entry completer, ops []wire.Op, deadline uint64) error {
+func (c *Client) send(entry completer, ops []wire.Op, deadline uint64, trace uint64, sampled bool) error {
 	c.wmu.Lock()
 	c.seq++
 	seq := c.seq
@@ -424,7 +549,11 @@ func (c *Client) send(entry completer, ops []wire.Op, deadline uint64) error {
 	}
 	c.pending[seq] = entry
 	c.pmu.Unlock()
-	c.wbuf = wire.AppendBatch(c.wbuf[:0], seq, deadline, ops)
+	if trace != 0 {
+		c.wbuf = wire.AppendBatchTraced(c.wbuf[:0], seq, deadline, ops, trace, sampled)
+	} else {
+		c.wbuf = wire.AppendBatch(c.wbuf[:0], seq, deadline, ops)
+	}
 	_, werr := c.conn.Write(c.wbuf)
 	c.wmu.Unlock()
 	if werr != nil {
@@ -546,4 +675,7 @@ func (c *Client) Op(kind load.RemoteOp, key uint64, k int) (uint64, error) {
 	return 0, fmt.Errorf("netserve: unknown remote op %d", kind)
 }
 
-var _ load.Remote = (*Client)(nil)
+var (
+	_ load.Remote      = (*Client)(nil)
+	_ load.StageSource = (*Client)(nil)
+)

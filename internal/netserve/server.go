@@ -38,6 +38,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/load"
+	"repro/internal/obs"
 	"repro/internal/serve"
 	"repro/internal/shmem"
 	"repro/internal/wire"
@@ -57,15 +58,21 @@ type Options struct {
 	// Admission bounds concurrently-executing operations on the checkout
 	// path (admission.go). The zero value admits everything immediately.
 	Admission AdmissionConfig
+	// NodeID is the cluster node identity stamped into trace spans (and
+	// shown on /trace), so a cross-hop chain attributes each server-side
+	// span to its ring node. Negative = standalone, no node attribution.
+	NodeID int
 }
 
 // Server serves the wire protocol over one listener, mapping each
 // connection onto the shared load.Target pools.
 type Server struct {
-	tg  *load.Target
-	ln  net.Listener
-	adm *admission // nil when admission control is disabled
-	wg  sync.WaitGroup
+	tg   *load.Target
+	ln   net.Listener
+	adm  *admission // nil when admission control is disabled
+	col  *obs.Collector
+	node int // span node attribution; -1 = standalone
+	wg   sync.WaitGroup
 
 	cmu  sync.Mutex
 	live map[net.Conn]struct{}
@@ -77,27 +84,36 @@ type Server struct {
 	bytesIn  atomic.Uint64
 	bytesOut atomic.Uint64
 
-	// Merged per-op service-time histogram plus per-opcode counters,
-	// folded in periodically from per-session shards (sessions own their
-	// shards; the fold is the only synchronized step).
-	hmu  sync.Mutex
-	hist load.Hist
-	ops  [8]uint64 // indexed by wire.OpCode
+	// Merged service-time histograms (one overall, one per opcode) plus
+	// per-opcode counters, folded in periodically from per-session shards
+	// (sessions own their shards; the fold is the only synchronized step).
+	hmu    sync.Mutex
+	hist   load.Hist
+	ophist [8]load.Hist // indexed by wire.OpCode
+	ops    [8]uint64    // indexed by wire.OpCode
 }
 
 // NewServer starts serving the wire protocol on ln against tg's pools
 // (nil tg builds load.NewTarget(1)). Close stops the listener and all open
 // connections.
 func NewServer(ln net.Listener, tg *load.Target) *Server {
-	return NewServerOpts(ln, tg, Options{})
+	return NewServerOpts(ln, tg, Options{NodeID: -1})
 }
 
-// NewServerOpts is NewServer with explicit Options (admission control).
+// NewServerOpts is NewServer with explicit Options (admission control,
+// span node identity).
 func NewServerOpts(ln net.Listener, tg *load.Target, opts Options) *Server {
 	if tg == nil {
 		tg = load.NewTarget(1)
 	}
-	s := &Server{tg: tg, ln: ln, adm: newAdmission(opts.Admission), live: map[net.Conn]struct{}{}}
+	s := &Server{
+		tg:   tg,
+		ln:   ln,
+		adm:  newAdmission(opts.Admission),
+		col:  obs.New(0),
+		node: opts.NodeID,
+		live: map[net.Conn]struct{}{},
+	}
 	s.wg.Add(1)
 	go s.acceptLoop()
 	return s
@@ -123,6 +139,12 @@ func (s *Server) Addr() net.Addr { return s.ln.Addr() }
 // Target returns the served pools.
 func (s *Server) Target() *load.Target { return s.tg }
 
+// Tracer returns the server's span collector — /trace reads it, and tests
+// assert chains through it. The server never originates traces: it records
+// spans for batches the client marked sampled, so the collector needs no
+// arming here.
+func (s *Server) Tracer() *obs.Collector { return s.col }
+
 // Close stops the listener, closes every open connection, and waits for
 // the connection handlers to drain. In-flight batches on closed
 // connections are abandoned; their pool instances are still recycled (the
@@ -135,6 +157,7 @@ func (s *Server) Close() error {
 	}
 	s.cmu.Unlock()
 	s.wg.Wait()
+	s.col.Close()
 	return err
 }
 
@@ -168,13 +191,13 @@ func (s *Server) untrack(conn net.Conn) {
 // latency/op-count shards. Everything here is touched only by the
 // connection's handler goroutine.
 type session struct {
-	srv  *Server
-	rbuf []byte
-	out  []byte
-	vals []uint64
-	hist load.Hist
-	ops  [8]uint64
-	nops uint64 // ops since the last shard fold
+	srv    *Server
+	rbuf   []byte
+	out    []byte
+	vals   []uint64
+	ophist [8]load.Hist
+	ops    [8]uint64
+	nops   uint64 // ops since the last shard fold
 }
 
 func (s *Server) newSession() *session {
@@ -190,12 +213,19 @@ func (s *Server) newSession() *session {
 func (ss *session) fold() {
 	s := ss.srv
 	s.hmu.Lock()
-	s.hist.Merge(&ss.hist)
+	for i := range ss.ophist {
+		// The overall hist is the per-op hists' union, derived here at fold
+		// time so the serving loop pays for exactly one Record per op.
+		s.hist.Merge(&ss.ophist[i])
+		s.ophist[i].Merge(&ss.ophist[i])
+	}
 	for i, n := range ss.ops {
 		s.ops[i] += n
 	}
 	s.hmu.Unlock()
-	ss.hist.Reset()
+	for i := range ss.ophist {
+		ss.ophist[i].Reset()
+	}
 	ss.ops = [8]uint64{}
 	ss.nops = 0
 }
@@ -205,10 +235,14 @@ func (s *Server) handleConn(conn net.Conn) {
 	defer s.untrack(conn)
 	r := bufio.NewReaderSize(conn, 128<<10)
 
-	// A text client: serve the metrics dump and close.
-	if head, err := r.Peek(4); err == nil && string(head) == "GET " {
-		s.serveMetrics(conn, r)
-		return
+	// An HTTP client: route to the observability surface (metrics, traces,
+	// profiles) and close. Non-GET methods are sniffed too, so they get a
+	// clean 405 instead of a wire-protocol error frame.
+	if head, err := r.Peek(4); err == nil {
+		if isHTTP, isGet := sniffHTTP(head); isHTTP {
+			s.serveHTTP(conn, r, isGet)
+			return
+		}
 	}
 
 	w := bufio.NewWriterSize(conn, 128<<10)
@@ -254,7 +288,8 @@ func (s *Server) handleConn(conn net.Conn) {
 
 // serveFrame executes one parsed batch and appends the reply (or error)
 // frame to out. This — decode, pool ops, encode — is the steady-state
-// request path, pinned at 0 allocs/op.
+// request path, pinned at 0 allocs/op (traced and untraced:
+// TestServeFrameAllocationFree / TestServeFrameTracedAllocationFree).
 func (ss *session) serveFrame(payload []byte, out []byte) []byte {
 	f, err := wire.Parse(payload)
 	if err != nil {
@@ -273,6 +308,16 @@ func (ss *session) serveFrame(payload []byte, out []byte) []byte {
 	budget := time.Duration(f.Deadline)
 	prev := t0
 	vals := ss.vals[:0]
+	// Tracing: the client marked this batch sampled, so every hop inside it
+	// records a span under the propagated trace id, parented on the frame
+	// span (whose id is reserved up front; it is recorded last, once its
+	// duration is known). Untraced batches skip all of it on one branch.
+	sampled := f.Sampled
+	var frameSpan uint64
+	if sampled {
+		frameSpan = ss.srv.col.NextID()
+	}
+	var admitNS, execNS int64
 	for i := 0; i < f.Ops(); i++ {
 		if budget > 0 && prev.Sub(t0) > budget {
 			ss.srv.errs.Add(1)
@@ -281,6 +326,7 @@ func (ss *session) serveFrame(payload []byte, out []byte) []byte {
 		code, arg := f.Op(i)
 		var v uint64
 		var ok bool
+		var waited time.Duration
 		if adm := ss.srv.adm; adm != nil {
 			// Admission: acquire a gate slot before touching a pool. A
 			// queued op waits at most the batch's remaining deadline budget
@@ -291,8 +337,12 @@ func (ss *session) serveFrame(payload []byte, out []byte) []byte {
 			if budget > 0 {
 				wait = budget - prev.Sub(t0)
 			}
-			g := adm.acquire(arg, wait)
+			var g *gate
+			g, waited = adm.acquire(arg, wait)
 			if g == nil {
+				if sampled {
+					ss.recordShedSpan(&f, frameSpan, t0, prev, waited)
+				}
 				return wire.AppendError(out, f.Seq, wire.EShed, "shed by admission control (queue full or deadline)")
 			}
 			v, ok = ss.opAdmitted(g, code, arg)
@@ -305,13 +355,103 @@ func (ss *session) serveFrame(payload []byte, out []byte) []byte {
 		}
 		vals = append(vals, v)
 		now := time.Now()
-		ss.hist.Record(uint64(now.Sub(prev)))
+		d := now.Sub(prev)
+		exec := d - waited
+		if exec < 0 {
+			exec = 0
+		}
+		admitNS += int64(waited)
+		execNS += int64(exec)
+		if sampled {
+			ss.recordOpSpans(&f, frameSpan, prev, waited, exec, code, arg)
+		}
+		ss.ophist[code&7].Record(uint64(d))
 		ss.ops[code&7]++
 		ss.nops++
 		prev = now
 	}
 	ss.vals = vals
+	if f.Traced {
+		// Echo the stage decomposition on every traced batch (sampled or
+		// not), so client-side reports can split round trips into
+		// queue/admit/execute/reply without inflating the span volume.
+		srv := time.Since(t0)
+		if sampled {
+			ss.recordFrameSpan(&f, frameSpan, t0, srv)
+		}
+		return wire.AppendReplyStaged(out, f.Seq, vals, uint64(srv), uint64(admitNS), uint64(execNS))
+	}
 	return wire.AppendReply(out, f.Seq, vals)
+}
+
+// recordOpSpans records a sampled op's spans — its admission wait (when it
+// queued) and the op itself, both parented on the frame span. Kept out of
+// line so the untraced serving loop pays one predicted branch, not the
+// span-construction code in its body.
+func (ss *session) recordOpSpans(f *wire.Frame, frameSpan uint64, prev time.Time, waited, exec time.Duration, code wire.OpCode, arg uint64) {
+	if waited > 0 {
+		ss.srv.col.Record(obs.Span{
+			Trace:  f.Trace,
+			Parent: frameSpan,
+			Start:  prev.UnixNano(),
+			Dur:    int64(waited),
+			Attr:   obs.PackAdmit(int64(waited), false, ss.srv.node),
+			Kind:   obs.KindAdmit,
+		})
+	}
+	ss.srv.col.Record(obs.Span{
+		Trace:  f.Trace,
+		Parent: frameSpan,
+		Start:  prev.UnixNano() + int64(waited),
+		Dur:    int64(exec),
+		Attr:   ss.opAttr(code, arg),
+		Kind:   obs.KindOp,
+	})
+}
+
+// recordShedSpan records a sampled shed — the terminal admission wait and
+// the frame span that contains it (a shed batch returns before the loop's
+// normal frame-span record).
+func (ss *session) recordShedSpan(f *wire.Frame, frameSpan uint64, t0, prev time.Time, waited time.Duration) {
+	ss.srv.col.Record(obs.Span{
+		Trace:  f.Trace,
+		Parent: frameSpan,
+		Start:  prev.UnixNano(),
+		Dur:    int64(waited),
+		Attr:   obs.PackAdmit(int64(waited), true, ss.srv.node),
+		Kind:   obs.KindAdmit,
+	})
+	ss.recordFrameSpan(f, frameSpan, t0, time.Since(t0))
+}
+
+// recordFrameSpan records the KindFrame root of a sampled batch's
+// server-side spans.
+func (ss *session) recordFrameSpan(f *wire.Frame, id uint64, t0 time.Time, dur time.Duration) {
+	ss.srv.col.Record(obs.Span{
+		Trace: f.Trace,
+		ID:    id,
+		Start: t0.UnixNano(),
+		Dur:   int64(dur),
+		Attr:  obs.PackOps(f.Ops(), ss.srv.node),
+		Kind:  obs.KindFrame,
+	})
+}
+
+// opAttr packs a sampled op span's attribute word: which pool shard the op
+// routed to (the pools' own ShardFor, so attribution matches execution)
+// and, for phased ops, the live phase mode.
+func (ss *session) opAttr(code wire.OpCode, arg uint64) uint64 {
+	tg := ss.srv.tg
+	node := ss.srv.node
+	switch code {
+	case wire.OpRename:
+		return obs.PackOp(uint8(code), tg.Rename.ShardFor(arg), 0, node)
+	case wire.OpInc, wire.OpRead:
+		return obs.PackOp(uint8(code), tg.Counter.ShardFor(arg), 0, node)
+	case wire.OpPhasedInc, wire.OpPhasedRead, wire.OpPhasedReadStrict:
+		return obs.PackOp(uint8(code), 0, uint8(tg.Phased.Counter().Mode()), node)
+	}
+	return obs.PackOp(uint8(code), 0, 0, node)
 }
 
 // opAdmitted runs one admitted operation and releases its gate slot (also

@@ -1,0 +1,91 @@
+package obs
+
+// Attribute-word packing. Every span carries exactly one uint64 of
+// kind-specific attributes so the record path never touches a map or a
+// string; these helpers are the single place the layout lives.
+//
+// Layout (bit ranges, low to high):
+//
+//	0..7    op code                  (KindClientOp, KindOp)
+//	0..31   admission wait ns, capped (KindAdmit)
+//	8..23   shard index              (KindOp)
+//	8..23   ops in frame             (KindSubBatch, KindGather, KindFrame)
+//	24..31  phase mode               (KindOp)
+//	32..47  node id + 1, 0 = unset   (every kind)
+//	63      shed flag                (KindAdmit)
+//
+// The admit wait overlaps the shard/mode ranges — accessors are
+// kind-specific, and the 32-bit cap (~4.3 s) is far above any admission
+// MaxWait — while the node range is shared by every kind so one accessor
+// serves them all.
+
+// maxWaitNS is the largest admission wait an attr word can carry.
+const maxWaitNS = 1<<32 - 1
+
+// PackOp builds the attr word of a KindOp span (and, with shard and mode
+// zero, of a KindClientOp span).
+func PackOp(op uint8, shard int, mode uint8, node int) uint64 {
+	return uint64(op) | uint64(shard&0xffff)<<8 | uint64(mode)<<24 | packNode(node)
+}
+
+// PackOps builds the attr word of a frame-shaped span (KindSubBatch,
+// KindGather, KindFrame): how many ops the frame carried, and on which
+// node.
+func PackOps(ops int, node int) uint64 {
+	if ops > 0xffff {
+		ops = 0xffff
+	}
+	return uint64(ops&0xffff)<<8 | packNode(node)
+}
+
+// PackAdmit builds the attr word of a KindAdmit span.
+func PackAdmit(waitNS int64, shed bool, node int) uint64 {
+	if waitNS < 0 {
+		waitNS = 0
+	}
+	if waitNS > maxWaitNS {
+		waitNS = maxWaitNS
+	}
+	a := uint64(waitNS) | packNode(node)
+	if shed {
+		a |= 1 << 63
+	}
+	return a
+}
+
+// packNode stores node+1 in bits 32..47 (0 = unset; pass node < 0 for
+// processes with no node identity, e.g. a standalone client).
+func packNode(node int) uint64 {
+	if node < 0 || node > 0xfffe {
+		return 0
+	}
+	return uint64(node+1) << 32
+}
+
+// AttrOp extracts the op code (KindClientOp, KindOp).
+func AttrOp(a uint64) uint8 { return uint8(a) }
+
+// AttrShard extracts the shard index (KindOp).
+func AttrShard(a uint64) int { return int(a >> 8 & 0xffff) }
+
+// AttrOps extracts the ops-in-frame count (KindSubBatch, KindGather,
+// KindFrame).
+func AttrOps(a uint64) int { return int(a >> 8 & 0xffff) }
+
+// AttrMode extracts the phase mode (KindOp).
+func AttrMode(a uint64) uint8 { return uint8(a >> 24) }
+
+// AttrWait extracts the admission wait in nanoseconds (KindAdmit).
+func AttrWait(a uint64) int64 { return int64(a & 0xffffffff) }
+
+// AttrShed extracts the shed flag (KindAdmit).
+func AttrShed(a uint64) bool { return a>>63 != 0 }
+
+// AttrNode extracts the node id; ok is false when the span carries none.
+func AttrNode(a uint64) (node int, ok bool) {
+	n := a >> 32 & 0xffff
+	if n == 0 {
+		return 0, false
+	}
+	return int(n - 1), true
+}

@@ -342,6 +342,13 @@ func (p *Pool[T]) Get() *Instance[T] {
 	return p.GetKeyed(goroutineKey())
 }
 
+// ShardFor returns the shard index GetKeyed(key) selects — the
+// attribution hook the tracing layer stamps into op spans, so a slow op's
+// span names the same shard the op actually contended on.
+func (p *Pool[T]) ShardFor(key uint64) int {
+	return int(hashKey(key) & p.mask)
+}
+
 // GetKeyed is Get with an explicit shard-selection key (a process id, a
 // connection id — anything roughly uniform).
 func (p *Pool[T]) GetKeyed(key uint64) *Instance[T] {

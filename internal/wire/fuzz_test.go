@@ -24,9 +24,16 @@ func FuzzDecodeFrame(f *testing.F) {
 	batch := AppendBatch(nil, 7, 500, []Op{{OpRename, 3}, {OpWave, 8}, {OpPhasedRead, 0}})
 	reply := AppendReply(nil, 7, []uint64{1, 2, 1 << 40})
 	errf := AppendError(nil, 9, EDeadline, "deadline exceeded")
+	traced := AppendBatchTraced(nil, 8, 500, []Op{{OpRename, 3}}, 0xdeadbeef, true)
+	staged := AppendReplyStaged(nil, 8, []uint64{4}, 1200, 300, 700)
 	f.Add(batch)
 	f.Add(reply)
 	f.Add(errf)
+	f.Add(traced)
+	f.Add(staged)
+	badflags := append([]byte{}, traced...)
+	badflags[len(badflags)-1] |= 0x80 // reserved flag bit set: must reject
+	f.Add(badflags)
 	f.Add(append(append([]byte{}, batch...), reply...)) // two frames back to back
 	f.Add(batch[:len(batch)-5])                         // truncated body
 	f.Add([]byte{0xff, 0xff, 0xff, 0x7f, 0x01})         // absurd declared length
@@ -57,13 +64,21 @@ func FuzzDecodeFrame(f *testing.F) {
 				for i := 0; i < fr.Ops(); i++ {
 					ops[i].Code, ops[i].Arg = fr.Op(i)
 				}
-				reenc = AppendBatch(nil, fr.Seq, fr.Deadline, ops)
+				if fr.Traced {
+					reenc = AppendBatchTraced(nil, fr.Seq, fr.Deadline, ops, fr.Trace, fr.Sampled)
+				} else {
+					reenc = AppendBatch(nil, fr.Seq, fr.Deadline, ops)
+				}
 			case TReply:
 				vals := make([]uint64, fr.Ops())
 				for i := 0; i < fr.Ops(); i++ {
 					vals[i] = fr.Val(i)
 				}
-				reenc = AppendReply(nil, fr.Seq, vals)
+				if fr.Staged {
+					reenc = AppendReplyStaged(nil, fr.Seq, vals, fr.SrvNS, fr.AdmitNS, fr.ExecNS)
+				} else {
+					reenc = AppendReply(nil, fr.Seq, vals)
+				}
 			case TError:
 				reenc = AppendError(nil, fr.Seq, fr.Code, string(fr.Msg))
 			default:

@@ -33,9 +33,22 @@
 // Frame layout (all integers little-endian):
 //
 //	frame   = len:u32 payload          // len = payload bytes, ≤ MaxFrame
-//	payload = TBatch seq:u64 deadline:u64 count:u16 {code:u8 arg:u64}*count
-//	        | TReply seq:u64 count:u16 {val:u64}*count
+//	payload = TBatch seq:u64 deadline:u64 count:u16 {code:u8 arg:u64}*count [trace:u64 flags:u8]
+//	        | TReply seq:u64 count:u16 {val:u64}*count [srv:u64 admit:u64 exec:u64]
 //	        | TError seq:u64 code:u16 msglen:u16 msg
+//
+// The bracketed tails are the tracing extensions, versioned by length: a
+// TBatch may carry a trace context — an 8-byte trace id plus a flags byte
+// whose bit 0 marks the batch sampled (the remaining bits are reserved
+// and must be zero) — and a TReply may echo the server's stage
+// decomposition — total server, admission-wait, and execute nanoseconds
+// for the batch. The declared count field keeps the grammar unambiguous:
+// a payload must be exactly the base form or the base form plus exactly
+// one extension. A peer predating the extensions still parses every
+// unextended frame, and an extended frame fails that peer's exact-length
+// check as ErrMalformed instead of being misread — so tracing is opt-in
+// per deployment (renameload -trace against current servers), and a
+// server echoes the stage extension only on replies to traced batches.
 package wire
 
 import (
@@ -113,11 +126,18 @@ const (
 	reqHeader = 1 + 8 + 8 + 2 // type seq deadline count
 	repHeader = 1 + 8 + 2     // type seq count
 	errHeader = 1 + 8 + 2 + 2 // type seq code msglen
+	batchExt  = 8 + 1         // trace id + flags (TBatch tracing extension)
+	replyExt  = 8 + 8 + 8     // srv + admit + exec ns (TReply stage extension)
+
+	// flagSampled marks a traced batch as sampled; the remaining flag bits
+	// are reserved and must be zero.
+	flagSampled = 0x01
 
 	// MaxOps is the largest op count of one batch (and one reply).
 	MaxOps = 4096
-	// MaxFrame is the largest legal payload length.
-	MaxFrame = reqHeader + opSize*MaxOps
+	// MaxFrame is the largest legal payload length: a full batch carrying
+	// the tracing extension.
+	MaxFrame = reqHeader + opSize*MaxOps + batchExt
 	// MaxErrMsg bounds the message of an error frame.
 	MaxErrMsg = 256
 )
@@ -150,6 +170,20 @@ type Frame struct {
 	// Code and Msg are the error frames' fields (TError only).
 	Code uint16
 	Msg  []byte
+
+	// Trace and Sampled are the TBatch tracing extension: Traced reports
+	// whether the frame carried it (Trace/Sampled are zero otherwise).
+	Traced  bool
+	Sampled bool
+	Trace   uint64
+
+	// SrvNS/AdmitNS/ExecNS are the TReply stage extension — the server's
+	// total, admission-wait, and execute nanoseconds for the batch; Staged
+	// reports whether the frame carried it.
+	Staged  bool
+	SrvNS   uint64
+	AdmitNS uint64
+	ExecNS  uint64
 
 	n    int
 	body []byte // ops (TBatch) or values (TReply), exactly n of them
@@ -205,30 +239,52 @@ func Parse(p []byte) (Frame, error) {
 			return Frame{}, ErrMalformed
 		}
 		n := int(binary.LittleEndian.Uint16(p[17:19]))
-		if n == 0 || n > MaxOps || len(p) != reqHeader+n*opSize {
+		base := reqHeader + n*opSize
+		if n == 0 || n > MaxOps || (len(p) != base && len(p) != base+batchExt) {
 			return Frame{}, ErrMalformed
 		}
-		return Frame{
+		f := Frame{
 			Type:     TBatch,
 			Seq:      binary.LittleEndian.Uint64(p[1:9]),
 			Deadline: binary.LittleEndian.Uint64(p[9:17]),
 			n:        n,
-			body:     p[reqHeader:],
-		}, nil
+			body:     p[reqHeader:base],
+		}
+		if len(p) == base+batchExt {
+			flags := p[base+8]
+			if flags&^flagSampled != 0 {
+				// Reserved flag bits must be zero: a frame setting them is
+				// from a future version this parser cannot honor, and
+				// accepting it would break canonical re-encoding.
+				return Frame{}, ErrMalformed
+			}
+			f.Traced = true
+			f.Trace = binary.LittleEndian.Uint64(p[base : base+8])
+			f.Sampled = flags&flagSampled != 0
+		}
+		return f, nil
 	case TReply:
 		if len(p) < repHeader {
 			return Frame{}, ErrMalformed
 		}
 		n := int(binary.LittleEndian.Uint16(p[9:11]))
-		if n == 0 || n > MaxOps || len(p) != repHeader+n*valSize {
+		base := repHeader + n*valSize
+		if n == 0 || n > MaxOps || (len(p) != base && len(p) != base+replyExt) {
 			return Frame{}, ErrMalformed
 		}
-		return Frame{
+		f := Frame{
 			Type: TReply,
 			Seq:  binary.LittleEndian.Uint64(p[1:9]),
 			n:    n,
-			body: p[repHeader:],
-		}, nil
+			body: p[repHeader:base],
+		}
+		if len(p) == base+replyExt {
+			f.Staged = true
+			f.SrvNS = binary.LittleEndian.Uint64(p[base : base+8])
+			f.AdmitNS = binary.LittleEndian.Uint64(p[base+8 : base+16])
+			f.ExecNS = binary.LittleEndian.Uint64(p[base+16 : base+24])
+		}
+		return f, nil
 	case TError:
 		if len(p) < errHeader {
 			return Frame{}, ErrMalformed
@@ -282,6 +338,31 @@ func AppendBatch(buf []byte, seq, deadline uint64, ops []Op) []byte {
 	return buf
 }
 
+// AppendBatchTraced appends one length-prefixed TBatch frame carrying the
+// tracing extension: trace is the 8-byte trace id propagated across hops,
+// sampled marks the batch for span recording on the server. Same panics
+// and allocation behavior as AppendBatch.
+func AppendBatchTraced(buf []byte, seq, deadline uint64, ops []Op, trace uint64, sampled bool) []byte {
+	if len(ops) == 0 || len(ops) > MaxOps {
+		panic("wire: batch op count out of range")
+	}
+	buf = appendLen(buf, reqHeader+opSize*len(ops)+batchExt)
+	buf = append(buf, TBatch)
+	buf = binary.LittleEndian.AppendUint64(buf, seq)
+	buf = binary.LittleEndian.AppendUint64(buf, deadline)
+	buf = binary.LittleEndian.AppendUint16(buf, uint16(len(ops)))
+	for _, o := range ops {
+		buf = append(buf, byte(o.Code))
+		buf = binary.LittleEndian.AppendUint64(buf, o.Arg)
+	}
+	buf = binary.LittleEndian.AppendUint64(buf, trace)
+	var flags byte
+	if sampled {
+		flags = flagSampled
+	}
+	return append(buf, flags)
+}
+
 // AppendReply appends one length-prefixed TReply frame to buf and returns
 // the extended slice. Panics when vals is empty or exceeds MaxOps.
 func AppendReply(buf []byte, seq uint64, vals []uint64) []byte {
@@ -296,6 +377,27 @@ func AppendReply(buf []byte, seq uint64, vals []uint64) []byte {
 		buf = binary.LittleEndian.AppendUint64(buf, v)
 	}
 	return buf
+}
+
+// AppendReplyStaged appends one length-prefixed TReply frame carrying the
+// stage-decomposition extension: the server's total, admission-wait, and
+// execute nanoseconds for the batch, echoed so clients can split their
+// observed round trip into queue/admit/execute/reply without a second
+// request. Same panics and allocation behavior as AppendReply.
+func AppendReplyStaged(buf []byte, seq uint64, vals []uint64, srvNS, admitNS, execNS uint64) []byte {
+	if len(vals) == 0 || len(vals) > MaxOps {
+		panic("wire: reply value count out of range")
+	}
+	buf = appendLen(buf, repHeader+valSize*len(vals)+replyExt)
+	buf = append(buf, TReply)
+	buf = binary.LittleEndian.AppendUint64(buf, seq)
+	buf = binary.LittleEndian.AppendUint16(buf, uint16(len(vals)))
+	for _, v := range vals {
+		buf = binary.LittleEndian.AppendUint64(buf, v)
+	}
+	buf = binary.LittleEndian.AppendUint64(buf, srvNS)
+	buf = binary.LittleEndian.AppendUint64(buf, admitNS)
+	return binary.LittleEndian.AppendUint64(buf, execNS)
 }
 
 // AppendError appends one length-prefixed TError frame to buf and returns

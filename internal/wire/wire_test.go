@@ -60,6 +60,98 @@ func TestReplyRoundTrip(t *testing.T) {
 	}
 }
 
+func TestTracedBatchRoundTrip(t *testing.T) {
+	ops := []Op{{OpRename, 7}, {OpInc, 3}}
+	for _, sampled := range []bool{false, true} {
+		buf := AppendBatchTraced(nil, 42, 1_000_000, ops, 0xabcdef0123456789, sampled)
+		payload, err := ReadFrame(bytes.NewReader(buf), nil)
+		if err != nil {
+			t.Fatalf("ReadFrame: %v", err)
+		}
+		f, err := Parse(payload)
+		if err != nil {
+			t.Fatalf("Parse: %v", err)
+		}
+		if !f.Traced || f.Trace != 0xabcdef0123456789 || f.Sampled != sampled {
+			t.Fatalf("trace extension mismatch (sampled=%v): %+v", sampled, f)
+		}
+		if f.Type != TBatch || f.Seq != 42 || f.Deadline != 1_000_000 || f.Ops() != len(ops) {
+			t.Fatalf("base fields disturbed by extension: %+v", f)
+		}
+		for i, want := range ops {
+			code, arg := f.Op(i)
+			if code != want.Code || arg != want.Arg {
+				t.Fatalf("op %d: got (%d, %d), want %+v", i, code, arg, want)
+			}
+		}
+	}
+	// A plain batch must parse as untraced.
+	payload, _ := ReadFrame(bytes.NewReader(AppendBatch(nil, 1, 0, ops)), nil)
+	if f, err := Parse(payload); err != nil || f.Traced || f.Trace != 0 || f.Sampled {
+		t.Fatalf("plain batch parsed as traced: %+v err=%v", f, err)
+	}
+}
+
+func TestTracedBatchReservedFlagsRejected(t *testing.T) {
+	buf := AppendBatchTraced(nil, 1, 0, []Op{{OpRename, 7}}, 99, true)
+	for _, bit := range []byte{0x02, 0x40, 0x80} {
+		bad := append([]byte{}, buf...)
+		bad[len(bad)-1] |= bit
+		payload, err := ReadFrame(bytes.NewReader(bad), nil)
+		if err != nil {
+			t.Fatalf("ReadFrame: %v", err)
+		}
+		if _, err := Parse(payload); !errors.Is(err, ErrMalformed) {
+			t.Fatalf("reserved flag %#x accepted: %v", bit, err)
+		}
+	}
+}
+
+func TestStagedReplyRoundTrip(t *testing.T) {
+	vals := []uint64{1, 99}
+	buf := AppendReplyStaged(nil, 7, vals, 5000, 1200, 3300)
+	payload, err := ReadFrame(bytes.NewReader(buf), nil)
+	if err != nil {
+		t.Fatalf("ReadFrame: %v", err)
+	}
+	f, err := Parse(payload)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if !f.Staged || f.SrvNS != 5000 || f.AdmitNS != 1200 || f.ExecNS != 3300 {
+		t.Fatalf("stage extension mismatch: %+v", f)
+	}
+	if f.Type != TReply || f.Seq != 7 || f.Ops() != len(vals) {
+		t.Fatalf("base fields disturbed by extension: %+v", f)
+	}
+	for i, want := range vals {
+		if got := f.Val(i); got != want {
+			t.Fatalf("val %d: got %d, want %d", i, got, want)
+		}
+	}
+	payload, _ = ReadFrame(bytes.NewReader(AppendReply(nil, 7, vals)), nil)
+	if f, err := Parse(payload); err != nil || f.Staged || f.SrvNS != 0 {
+		t.Fatalf("plain reply parsed as staged: %+v err=%v", f, err)
+	}
+}
+
+func TestMaxTracedBatchFits(t *testing.T) {
+	// A full MaxOps batch carrying the tracing extension must survive
+	// ReadFrame's cap — the cap grew with the extension.
+	ops := make([]Op, MaxOps)
+	for i := range ops {
+		ops[i] = Op{OpRename, uint64(i)}
+	}
+	buf := AppendBatchTraced(nil, 1, 0, ops, 42, true)
+	payload, err := ReadFrame(bytes.NewReader(buf), nil)
+	if err != nil {
+		t.Fatalf("ReadFrame rejected a max traced batch: %v", err)
+	}
+	if f, err := Parse(payload); err != nil || !f.Traced || f.Ops() != MaxOps {
+		t.Fatalf("max traced batch: %+v err=%v", f, err)
+	}
+}
+
 func TestErrorRoundTrip(t *testing.T) {
 	buf := AppendError(nil, 9, EDeadline, "deadline exceeded")
 	payload, err := ReadFrame(bytes.NewReader(buf), nil)

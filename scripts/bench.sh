@@ -29,7 +29,13 @@
 # sweep (nodes=1 vs BenchmarkWireRename isolates the router overhead;
 # nodes=3/batch=64 vs nodes=1/batch=64 is the fan-out cost), plus the
 # steady/burst catalog scenarios driven through renameload -ring against a
-# live 3-node loopback ring (rows named BenchmarkScenario/<name>/cluster).
+# live 3-node loopback ring (rows named BenchmarkScenario/<name>/cluster);
+# BENCH_10.json is the record of the tracing PR — the shared wire/cluster
+# rows re-measured with the tracing layer compiled in but disarmed (the
+# gate against BENCH_9 is the "observability is free when off" pin), plus
+# BenchmarkWireRenameTraced, the batch=64 rename sweep with a collector
+# armed at 1-in-64 sampling whose delta against BenchmarkWireRename/batch=64
+# is the whole observed cost of tracing on the serving path.
 # scripts/bench_gate.sh compares consecutive records and fails CI on
 # regressions in shared rows).
 #
